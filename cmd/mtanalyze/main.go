@@ -1,0 +1,107 @@
+// mtanalyze runs the parallel replay analysis over an on-disk
+// experiment archive produced by mtrun and writes the resulting
+// analysis report (cube file):
+//
+//	mtanalyze -in ./run1 -archive epik_metatrace -scheme hier -o run1.cube
+//
+// The -in directory holds one subdirectory per metahost file system;
+// each analysis process reads only the local trace files of its ranks,
+// exactly as on a metacomputer without a shared file system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"metascope/internal/archive"
+	"metascope/internal/cube"
+	"metascope/internal/replay"
+	"metascope/internal/vclock"
+)
+
+func main() {
+	log.SetFlags(0)
+	in := flag.String("in", "archive", "input directory (one subdirectory per metahost)")
+	dir := flag.String("archive", "", "experiment archive directory name, e.g. epik_metatrace (default: autodetect)")
+	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")
+	out := flag.String("o", "", "write the cube report to this file (default: <in>/analysis.cube)")
+	flag.Parse()
+
+	scheme, err := vclock.ParseScheme(*schemeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mounts := archive.NewMounts()
+	id := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		fs, err := archive.NewDirFS(filepath.Join(*in, e.Name()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mounts.Mount(id, fs)
+		if *dir == "" {
+			names, err := fs.List(".")
+			if err == nil {
+				for _, n := range names {
+					if len(n) > 5 && n[:5] == "epik_" {
+						*dir = n
+					}
+				}
+			}
+		}
+		id++
+	}
+	if id == 0 {
+		log.Fatalf("no metahost subdirectories under %s", *in)
+	}
+	if *dir == "" {
+		log.Fatalf("no epik_* archive found; pass -archive explicitly")
+	}
+	metahosts := make([]int, id)
+	for i := range metahosts {
+		metahosts[i] = i
+	}
+
+	res, err := replay.AnalyzeArchive(mounts, metahosts, *dir, replay.Config{
+		Scheme: scheme,
+		Title:  fmt.Sprintf("%s (%v)", *dir, scheme),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("replayed %d messages and %d collective instances\n", res.Messages, res.Collectives)
+	fmt.Printf("clock condition violations: %d\n\n", res.Violations)
+	fmt.Print(cube.RenderFindings(res.Report.Findings(5, 0.5)))
+	fmt.Println()
+	fmt.Print(res.FormatCommMatrix())
+	fmt.Println()
+	fmt.Print(res.Report.RenderMetricTree())
+
+	target := *out
+	if target == "" {
+		target = filepath.Join(*in, "analysis.cube")
+	}
+	f, err := os.Create(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Report.Write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreport written to %s (render with mtprint)\n", target)
+}

@@ -1,0 +1,90 @@
+// mtdiff applies the cross-experiment algebra (Song et al., named as
+// future work in §6 of the paper) to analysis reports:
+//
+//	mtdiff -op diff  a.cube b.cube        # a − b
+//	mtdiff -op merge a.cube b.cube        # a + b
+//	mtdiff -op mean  a.cube b.cube c.cube # cell-wise mean
+//
+// The result is printed as a metric tree and optionally written with
+// -o for further inspection with mtprint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"metascope/internal/cube"
+)
+
+func load(path string) (*cube.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cube.Read(f)
+}
+
+func main() {
+	log.SetFlags(0)
+	op := flag.String("op", "diff", "operation: diff | merge | mean")
+	out := flag.String("o", "", "write the result to this cube file")
+	flag.Parse()
+	if flag.NArg() < 2 {
+		log.Fatalf("usage: mtdiff [-op diff|merge|mean] [-o out.cube] a.cube b.cube [more.cube ...]")
+	}
+	reports := make([]*cube.Report, flag.NArg())
+	for i, p := range flag.Args() {
+		r, err := load(p)
+		if err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+		reports[i] = r
+	}
+
+	var res *cube.Report
+	var err error
+	switch *op {
+	case "diff":
+		if len(reports) != 2 {
+			log.Fatalf("diff needs exactly two reports")
+		}
+		res = cube.Diff(reports[0], reports[1])
+	case "merge":
+		res = reports[0]
+		for _, r := range reports[1:] {
+			res = cube.Merge(res, r)
+		}
+	case "mean":
+		res, err = cube.Mean(reports...)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown op %q", *op)
+	}
+
+	fmt.Printf("result: %s\n\n", res.Title)
+	// For a diff, percentages against "total time" are meaningless;
+	// print per-metric totals instead.
+	for i := range res.Metrics {
+		total := res.MetricTotal(i)
+		if total == 0 {
+			continue
+		}
+		fmt.Printf("  %-55s %+12.3f %s\n", res.Metrics[i].Key, total, res.Metrics[i].Unit)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("\nwritten to %s\n", *out)
+	}
+}

@@ -1,0 +1,105 @@
+// mtexperiments regenerates every table and figure of the paper's
+// evaluation section on the simulated metacomputer.
+//
+//	mtexperiments [-seed N] [-only table1|table2|fig1|fig3|fig6|fig7|topology|algebra]
+//
+// Without -only it runs everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"metascope"
+	"metascope/internal/apps/clockbench"
+	"metascope/internal/experiments"
+	"metascope/internal/pattern"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed (same seed = same numbers)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, fig1, fig3, fig6, fig7, topology, algebra)")
+	flag.Parse()
+
+	run := func(name string) bool { return *only == "" || *only == name }
+	did := false
+
+	if run("topology") {
+		did = true
+		fmt.Println("=== Figures 2 and 5: metacomputer topology ===")
+		fmt.Print(metascope.VIOLA().Describe())
+		fmt.Println()
+	}
+	if run("table1") {
+		did = true
+		rs, err := experiments.Table1(*seed, 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatTable1(rs))
+		fmt.Println()
+	}
+	if run("fig1") {
+		did = true
+		fmt.Print(experiments.FormatFigure1(experiments.Figure1(*seed, 100, 11)))
+		fmt.Println()
+	}
+	if run("table2") {
+		did = true
+		t2, err := experiments.Table2(*seed, clockbench.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatTable2(t2))
+		fmt.Println()
+	}
+	if run("fig3") {
+		did = true
+		rows, lat, err := experiments.Figure3(*seed, clockbench.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFigure3(rows, lat))
+		fmt.Println()
+	}
+	if run("fig6") {
+		did = true
+		r, err := experiments.Figure6(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatMetaTrace(
+			"=== Figure 6: MetaTrace on three metahosts (Table 3, Experiment 1) ===", r, true))
+		fmt.Println()
+	}
+	if run("fig7") {
+		did = true
+		r, err := experiments.Figure7(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatMetaTrace(
+			"=== Figure 7: MetaTrace on one metahost (Table 3, Experiment 2) ===", r, false))
+		fmt.Println()
+	}
+	if run("algebra") {
+		did = true
+		diff, err := experiments.Algebra(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("=== Cross-experiment algebra: diff(three-metahost, one-metahost) ===")
+		for _, key := range []string{pattern.KeyLateSender, pattern.KeyWaitBarrier, pattern.KeyMPI} {
+			m := diff.MetricIndex(key)
+			fmt.Printf("  %-20s %+.2f s (positive = more severe on the metacomputer)\n",
+				diff.Metrics[m].Name, diff.MetricTotal(m))
+		}
+		fmt.Println()
+	}
+	if !did {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+// mtprint renders an analysis report (cube file) as the three panels
+// of the result browser: metric hierarchy, call tree, system tree.
+//
+//	mtprint report.cube                         # metric tree
+//	mtprint -metric mpi.synchronization.wait_barrier.grid report.cube
+//	mtprint -metric ... -call main/cgiteration report.cube
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"metascope/internal/cube"
+)
+
+func main() {
+	log.SetFlags(0)
+	metric := flag.String("metric", "", "metric key to expand (see -list)")
+	call := flag.String("call", "", "call path for the system panel, '/'-separated")
+	list := flag.Bool("list", false, "list available metric keys and exit")
+	htmlOut := flag.String("html", "", "write a self-contained HTML report to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatalf("usage: mtprint [-metric KEY] [-call PATH] report.cube")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := cube.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *list {
+		for _, m := range r.Metrics {
+			fmt.Printf("%-55s %s\n", m.Key, m.Name)
+		}
+		return
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.RenderHTML(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("HTML report written to %s\n", *htmlOut)
+		return
+	}
+	fmt.Printf("report: %s\n\n", r.Title)
+	if *metric == "" {
+		fmt.Print(r.RenderMetricTree())
+		return
+	}
+	if *call == "" {
+		fmt.Print(r.RenderFigure(*metric))
+		return
+	}
+	c := r.CallByPath(strings.Split(*call, "/"))
+	if c < 0 {
+		log.Fatalf("call path %q not found", *call)
+	}
+	fmt.Print(r.RenderCallTree(*metric))
+	fmt.Println()
+	fmt.Print(r.RenderSystemTree(*metric, c))
+}

@@ -1,0 +1,89 @@
+// mttimeline exports a synchronized global timeline of an experiment
+// archive in Chrome trace_event JSON (open in Perfetto or
+// chrome://tracing) — the VAMPIR-style manual-inspection view next to
+// mtanalyze's automatic pattern search:
+//
+//	mttimeline -in run1 -scheme hier -o timeline.json
+//
+// Exporting the same archive with -scheme flat1 makes clock-condition
+// violations visible as message arrows pointing backwards in time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"metascope/internal/archive"
+	"metascope/internal/replay"
+	"metascope/internal/vclock"
+)
+
+func main() {
+	log.SetFlags(0)
+	in := flag.String("in", "archive", "input directory (one subdirectory per metahost)")
+	dir := flag.String("archive", "", "experiment archive directory name (default: autodetect)")
+	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")
+	out := flag.String("o", "timeline.json", "output JSON file")
+	flag.Parse()
+
+	scheme, err := vclock.ParseScheme(*schemeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, err := os.ReadDir(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mounts := archive.NewMounts()
+	id := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		fs, err := archive.NewDirFS(filepath.Join(*in, e.Name()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mounts.Mount(id, fs)
+		if *dir == "" {
+			if names, err := fs.List("."); err == nil {
+				for _, n := range names {
+					if len(n) > 5 && n[:5] == "epik_" {
+						*dir = n
+					}
+				}
+			}
+		}
+		id++
+	}
+	if id == 0 || *dir == "" {
+		log.Fatalf("no metahost archives under %s", *in)
+	}
+	metahosts := make([]int, id)
+	for i := range metahosts {
+		metahosts[i] = i
+	}
+	traces, err := replay.LoadArchive(mounts, metahosts, *dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := replay.ExportTimeline(f, traces, scheme); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	events := 0
+	for _, t := range traces {
+		events += len(t.Events)
+	}
+	fmt.Printf("timeline with %d trace events (%d processes, %v) written to %s\n",
+		events, len(traces), scheme, *out)
+}

@@ -1,0 +1,64 @@
+// mttrace inspects local trace files written by mtrun:
+//
+//	mttrace run1/FZJ/epik_metatrace/trace.16.mscp          # summary
+//	mttrace -dump -n 50 run1/FZJ/epik_metatrace/trace.16.mscp
+//	mttrace -sync run1/FZJ/epik_metatrace/trace.16.mscp    # offset data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"metascope/internal/trace"
+	"metascope/internal/vclock"
+)
+
+func main() {
+	log.SetFlags(0)
+	dump := flag.Bool("dump", false, "dump the raw event stream")
+	n := flag.Int("n", 100, "with -dump: maximum number of events (0 = all)")
+	sync := flag.Bool("sync", false, "print the synchronization measurements")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatalf("usage: mttrace [-dump [-n N]] [-sync] trace.mscp...")
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if err := tr.Validate(); err != nil {
+			fmt.Printf("WARNING: %v\n", err)
+		}
+		switch {
+		case *dump:
+			fmt.Print(tr.Dump(*n))
+		case *sync:
+			s := tr.Sync
+			fmt.Printf("trace %s\n", tr.Loc)
+			fmt.Printf("  global master rank %d, local master rank %d, shared node clock %v\n",
+				s.GlobalMasterRank, s.LocalMasterRank, s.SharedNodeClock)
+			pr := func(name string, m vclock.Measurement) {
+				fmt.Printf("  %-14s local=%14.6f offset=%+.9f err=%.9f\n", name, m.Local, m.Offset, m.Err)
+			}
+			pr("flat start", s.FlatStart)
+			pr("flat end", s.FlatEnd)
+			pr("local start", s.LocalStart)
+			pr("local end", s.LocalEnd)
+			pr("master start", s.MasterStart)
+			pr("master end", s.MasterEnd)
+		default:
+			fmt.Print(tr.Stats().Format())
+		}
+		if flag.NArg() > 1 {
+			fmt.Println()
+		}
+	}
+}

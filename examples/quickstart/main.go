@@ -1,0 +1,68 @@
+// Quickstart: measure and analyze a small imbalanced program on the
+// VIOLA metacomputer.
+//
+// Eight processes — four on the FZJ Cray XD1, four on the CAESAR
+// cluster — iterate over a compute/exchange/barrier cycle. CAESAR is
+// the slower machine, so the XD1 processes pile up waiting time that
+// the analyzer attributes to the grid patterns: Grid Late Sender in
+// the pairwise exchange and Grid Wait at Barrier in the barrier.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"metascope"
+	"metascope/internal/measure"
+	"metascope/internal/topology"
+)
+
+func main() {
+	topo := metascope.VIOLA()
+	place := topology.NewPlacement(topo)
+	place.MustPlace(2, 0, 2, 2) // ranks 0-3 on FZJ (fast)
+	place.MustPlace(0, 0, 2, 2) // ranks 4-7 on CAESAR (slow)
+
+	e := metascope.NewExperiment("quickstart", topo, place, 1)
+	if err := e.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	const steps = 20
+	err := e.Run(func(m *measure.M) {
+		c := m.World()
+		rank, n := c.Rank(), c.Size()
+		peer := (rank + n/2) % n // pair each FZJ process with a CAESAR one
+		m.Enter("main")
+		for s := 0; s < steps; s++ {
+			m.Enter("solve")
+			m.Compute("", 0.05) // same work everywhere, different speeds
+			m.Exit()
+			m.Enter("exchange")
+			c.Sendrecv(peer, 1, 8<<10, peer, 1)
+			m.Exit()
+			m.Enter("checkpoint")
+			c.Barrier()
+			m.Exit()
+		}
+		m.Exit()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := e.Analyze(metascope.Hierarchical)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzed %d messages, %d collectives, %d clock-condition violations\n\n",
+		res.Messages, res.Collectives, res.Violations)
+	fmt.Print(res.Report.RenderMetricTree())
+	fmt.Println()
+	fmt.Print(res.Report.RenderCallTree("mpi.synchronization.wait_barrier.grid"))
+	fmt.Println()
+	hot, _ := res.Report.HottestCall(res.Report.MetricIndex("mpi.synchronization.wait_barrier.grid"))
+	fmt.Print(res.Report.RenderSystemTree("mpi.synchronization.wait_barrier.grid", hot))
+}

@@ -1,0 +1,3 @@
+module metascope
+
+go 1.22

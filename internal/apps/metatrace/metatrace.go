@@ -1,0 +1,231 @@
+// Package metatrace is a synthetic reconstruction of the MetaTrace
+// multi-physics application analyzed in §5: a coupled simulation of
+// solute transport in heterogeneous soil-aquifer systems consisting of
+// two submodels.
+//
+// Trace computes the velocity field of water flow with a parallel
+// conjugate-gradient solver over a three-dimensional domain
+// decomposition with nearest-neighbour communication (functions
+// cgiteration and finelassdt). Partrace tracks individual particles in
+// the velocity field. Every coupling step Trace sends the velocity
+// field — 200 MB in parallel chunks — to Partrace (printtolink /
+// ReadVelFieldFromTrace, synchronized by a barrier over the global
+// communicator), and Partrace returns currently unused steering
+// information.
+//
+// The compute kernels use per-metahost speed factors, so running the
+// same binary on the heterogeneous VIOLA placement (Experiment 1 of
+// Table 3) produces the paper's wait states: Grid Late Sender inside
+// cgiteration concentrated on the faster FH-BRS cluster, and Grid Wait
+// at Barrier inside ReadVelFieldFromTrace on the Cray XD1. On the
+// homogeneous IBM placement (Experiment 2) both shrink while the
+// steering Late Sender grows.
+package metatrace
+
+import (
+	"fmt"
+
+	"metascope/internal/measure"
+	"metascope/internal/mmpi"
+	"metascope/internal/topology"
+)
+
+// Message tags.
+const (
+	tagHalo  = 5001
+	tagField = 5002
+	tagSteer = 5003
+)
+
+// Params configures the synthetic MetaTrace run. Work values are in
+// abstract work units; a unit takes one second on a speed-1.0 machine.
+type Params struct {
+	Steps   int // coupling steps (velocity-field transfers)
+	CGIters int // CG iterations per coupling step
+
+	CGWork    float64 // per-iteration CG compute per Trace rank
+	FineWork  float64 // finelassdt compute per step per Trace rank
+	PartWork  float64 // particle tracking per step per Partrace rank
+	SteerWork float64 // steering preparation per step per Partrace rank
+	FieldWork float64 // velocity-field post-processing per step per Trace rank
+
+	HaloBytes  int // halo exchange message size
+	FieldBytes int // total velocity field size per step (split over pairs)
+	SteerBytes int // steering message size
+	DotBytes   int // CG dot-product allreduce size
+
+	// Detail is the instrumentation granularity: how many inner
+	// compute-block regions each solver kernel records per iteration.
+	// 1 mimics coarse manual instrumentation; real preprocessor-
+	// instrumented codes (the paper's MetaTrace was instrumented by a
+	// directive-translating preprocessor) sit closer to 8–32, which
+	// makes trace files much larger than the analyzer's replay traffic.
+	Detail int
+
+	NT        int // number of Trace ranks (the first NT world ranks)
+	TraceComm int // predefined communicator id for Trace
+	PartComm  int // predefined communicator id for Partrace
+}
+
+// Default returns the calibrated parameters for a 32-process run
+// (16 Trace + 16 Partrace): coupling steps of 10–15 virtual seconds
+// with a 200 MB field transfer each, as described in §5.
+func Default(nTrace int) Params {
+	return Params{
+		Steps:      10,
+		CGIters:    30,
+		CGWork:     0.24,
+		FineWork:   3.0,
+		PartWork:   12.0,
+		SteerWork:  1.0,
+		FieldWork:  0.5,
+		HaloBytes:  16 << 10,
+		FieldBytes: 200 << 20,
+		SteerBytes: 4 << 10,
+		DotBytes:   8,
+		Detail:     1,
+		NT:         nTrace,
+	}
+}
+
+// Setup registers the Trace and Partrace communicators on a world that
+// has not started yet and returns the parameterization. The world must
+// have 2·nTrace ranks: the first half runs Trace, the second Partrace
+// (the paper assigned the same number of processors to both).
+func Setup(w *mmpi.World, p Params) (Params, error) {
+	if p.NT <= 0 || w.N() != 2*p.NT {
+		return p, fmt.Errorf("metatrace: world has %d ranks, want 2x%d", w.N(), p.NT)
+	}
+	traceRanks := make([]int, p.NT)
+	partRanks := make([]int, p.NT)
+	for i := 0; i < p.NT; i++ {
+		traceRanks[i] = i
+		partRanks[i] = p.NT + i
+	}
+	p.TraceComm = w.PredefComm(traceRanks)
+	p.PartComm = w.PredefComm(partRanks)
+	return p, nil
+}
+
+// Body is the per-process entry point, run under measurement.
+func Body(m *measure.M, p Params) {
+	if m.Rank() < p.NT {
+		traceBody(m, p)
+	} else {
+		partraceBody(m, p)
+	}
+}
+
+// traceBody runs the flow-field submodel on ranks 0..NT-1.
+func traceBody(m *measure.M, p Params) {
+	wc := m.World()
+	tc := m.Comm(p.TraceComm)
+	myRank := tc.Rank()
+	partner := p.NT + myRank // corresponding Partrace world rank
+	nbs := Neighbors(Dims3(p.NT), myRank)
+	chunk := p.FieldBytes / p.NT
+
+	m.Enter("main")
+	for step := 0; step < p.Steps; step++ {
+		// CG solve with nearest-neighbour halo exchange and a dot
+		// product per iteration. The halo partners that straddle the
+		// FH-BRS/CAESAR boundary produce the Grid Late Sender of
+		// Figure 6(a).
+		m.Enter("cgiteration")
+		for it := 0; it < p.CGIters; it++ {
+			// Function-level instrumentation as the paper's
+			// preprocessor would emit: the solver's compute kernels
+			// are regions of their own.
+			detail := p.Detail
+			if detail < 1 {
+				detail = 1
+			}
+			m.InRegion("sparsematvec", func() {
+				for bl := 0; bl < detail; bl++ {
+					m.InRegion("stencilblock", func() {
+						m.Compute(topology.KernelTraceCG, 0.6*p.CGWork/float64(detail))
+					})
+				}
+			})
+			m.InRegion("applyprecond", func() {
+				for bl := 0; bl < detail; bl++ {
+					m.InRegion("smoothblock", func() {
+						m.Compute(topology.KernelTraceCG, 0.4*p.CGWork/float64(detail))
+					})
+				}
+			})
+			m.InRegion("exchangehalo", func() {
+				for _, nb := range nbs {
+					tc.Sendrecv(nb, tagHalo, p.HaloBytes, nb, tagHalo)
+				}
+			})
+			m.InRegion("dotproduct", func() {
+				tc.Allreduce(p.DotBytes)
+			})
+		}
+		m.Exit()
+
+		// Pure computation; the paper observed this function running
+		// about twice as fast on FH-BRS as on CAESAR.
+		m.Enter("finelassdt")
+		m.Compute(topology.KernelTraceCG, p.FineWork)
+		m.Exit()
+
+		// Hand the velocity field to Partrace: a global barrier, then
+		// a parallel unidirectional transfer (12.5 MB per pair).
+		m.Enter("printtolink")
+		wc.Barrier()
+		wc.Send(partner, tagField, chunk)
+		m.Exit()
+
+		// Post-process the field before looking at steering input.
+		m.Enter("applyfield")
+		m.Compute(topology.KernelTraceCG, p.FieldWork)
+		m.Exit()
+
+		// Receive the (currently unused) steering information; on the
+		// homogeneous system this is where Trace waits for Partrace.
+		m.Enter("getsteering")
+		wc.Recv(partner, tagSteer)
+		m.Exit()
+	}
+	m.Exit()
+}
+
+// partraceBody runs the particle-tracking submodel on ranks NT..2NT-1.
+func partraceBody(m *measure.M, p Params) {
+	wc := m.World()
+	pc := m.Comm(p.PartComm)
+	partner := wc.Rank() - p.NT // corresponding Trace world rank
+
+	m.Enter("main")
+	for step := 0; step < p.Steps; step++ {
+		m.Enter("tracking")
+		for batch := 0; batch < 16; batch++ {
+			m.InRegion("advectparticles", func() {
+				m.Compute(topology.KernelPartrace, p.PartWork/16)
+			})
+		}
+		m.Exit()
+
+		// Particle load statistics within Partrace.
+		m.Enter("balanceparticles")
+		pc.Allreduce(p.DotBytes)
+		m.Exit()
+
+		// Synchronize with Trace and receive the velocity field. On
+		// the heterogeneous system Partrace reaches this barrier long
+		// before Trace — the Grid Wait at Barrier of Figure 6(b).
+		m.Enter("ReadVelFieldFromTrace")
+		wc.Barrier()
+		wc.Recv(partner, tagField)
+		m.Exit()
+
+		// Send steering information back to Trace.
+		m.Enter("WriteSteeringToTrace")
+		m.Compute(topology.KernelPartrace, p.SteerWork)
+		wc.Send(partner, tagSteer, p.SteerBytes)
+		m.Exit()
+	}
+	m.Exit()
+}

@@ -1,0 +1,126 @@
+package archive
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func osCreate(t *testing.T, p string) (io.WriteCloser, error) {
+	t.Helper()
+	return os.Create(p)
+}
+
+func osStat(p string) (os.FileInfo, error) { return os.Stat(p) }
+
+func newTestDirFS(t *testing.T) *DirFS {
+	t.Helper()
+	fs, err := NewDirFS(filepath.Join(t.TempDir(), "site-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestDirFSBasicOperations(t *testing.T) {
+	fs := newTestDirFS(t)
+	if fs.Name() != "site-a" {
+		t.Errorf("Name = %q", fs.Name())
+	}
+	if err := fs.Mkdir("epik_x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("epik_x"); !errors.Is(err, ErrExist) {
+		t.Fatalf("double mkdir: %v", err)
+	}
+	if err := fs.Mkdir("a/b/c"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("orphan mkdir: %v", err)
+	}
+	w, err := fs.Create("epik_x/trace.0.mscp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("payload"))
+	w.Close()
+	if !fs.Exists("epik_x/trace.0.mscp") || !fs.Exists("epik_x") {
+		t.Fatalf("Exists broken")
+	}
+	if fs.Exists("epik_x/ghost") {
+		t.Fatalf("ghost exists")
+	}
+	r, err := fs.Open("epik_x/trace.0.mscp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if string(data) != "payload" {
+		t.Fatalf("read %q", data)
+	}
+	if _, err := fs.Open("epik_x/ghost"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("ghost open: %v", err)
+	}
+	names, err := fs.List("epik_x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"trace.0.mscp"}) {
+		t.Fatalf("List = %v", names)
+	}
+	if _, err := fs.List("nodir"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("List nodir: %v", err)
+	}
+	if _, err := fs.Create("nodir/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Create nodir: %v", err)
+	}
+}
+
+func TestDirFSConfinesTraversal(t *testing.T) {
+	// Paths with ".." are confined to the root, never resolved outside
+	// it: "../evil" lands at <root>/evil, and a file planted next to
+	// the root stays invisible.
+	base := t.TempDir()
+	fs, err := NewDirFS(filepath.Join(base, "site"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := osCreate(t, filepath.Join(base, "secret.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if fs.Exists("../secret.txt") {
+		t.Errorf("traversal read outside the root")
+	}
+	if _, err := fs.Open("../secret.txt"); err == nil {
+		t.Errorf("Open escaped the root")
+	}
+	if err := fs.Mkdir("../evil"); err != nil {
+		t.Fatalf("confined mkdir failed: %v", err)
+	}
+	if _, statErr := osStat(filepath.Join(base, "evil")); statErr == nil {
+		t.Errorf("Mkdir(\"../evil\") escaped the root")
+	}
+	if !fs.Exists("evil") {
+		t.Errorf("confined mkdir did not land inside the root")
+	}
+}
+
+func TestDirFSWorksWithEnsureProtocol(t *testing.T) {
+	// The on-disk file system must satisfy the archive protocol the
+	// same way MemFS does.
+	a := newTestDirFS(t)
+	b := newTestDirFS(t)
+	errs := runEnsure(t, []FS{a, a, b, b}, "epik_proto")
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if !a.Exists("epik_proto") || !b.Exists("epik_proto") {
+		t.Fatalf("archives missing on disk")
+	}
+}

@@ -1,0 +1,401 @@
+// Package cube holds analysis reports: the three-dimensional severity
+// mapping metric × call path × system location produced by the trace
+// analyzer, modelled after the CUBE format of KOJAK/SCALASCA.
+//
+// The three dimensions correspond to the three panels of the result
+// browser in Figures 6 and 7: the metric hierarchy on the left, the
+// call tree in the middle, and the system tree — metahost, node,
+// process — on the right. Severities are stored exclusively along both
+// the metric and the call axis; inclusive values are obtained by
+// aggregating subtrees.
+//
+// The package also implements the cross-experiment algebra of Song et
+// al. (difference, merge, mean), named as future work in §6.
+package cube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"metascope/internal/pattern"
+)
+
+// Metric is one node of the metric dimension.
+type Metric struct {
+	Key    string // stable identifier, e.g. "mpi.communication.p2p.late_sender"
+	Name   string // display name, e.g. "Late Sender"
+	Unit   string // "sec" or "occ"
+	Desc   string
+	Parent int // index into Report.Metrics, -1 for roots
+}
+
+// CallNode is one node of the call-tree dimension.
+type CallNode struct {
+	Name   string
+	Parent int // -1 for roots
+}
+
+// Loc is one leaf of the system dimension: a process, placed on a node
+// of a metahost.
+type Loc struct {
+	Rank         int
+	Metahost     int
+	MetahostName string
+	Node         int
+}
+
+// Report is a complete analysis result.
+type Report struct {
+	Title   string
+	Metrics []Metric
+	Calls   []CallNode
+	Locs    []Loc
+	// sev[m][c][l] is the exclusive severity of metric m at call node c
+	// and location l.
+	sev [][][]float64
+}
+
+// New creates a report with the given metric dimension and locations.
+// Call nodes are added incrementally with AddCall.
+func New(title string, metrics []Metric, locs []Loc) *Report {
+	return &Report{Title: title, Metrics: metrics, Locs: locs}
+}
+
+// FromMetricDefs flattens a metric-definition tree (pattern.MetricTree)
+// into the report's metric dimension, parents before children.
+func FromMetricDefs(defs []pattern.MetricDef) []Metric {
+	var out []Metric
+	var walk func(d pattern.MetricDef, parent int)
+	walk = func(d pattern.MetricDef, parent int) {
+		idx := len(out)
+		out = append(out, Metric{Key: d.Key, Name: d.Name, Unit: d.Unit, Desc: d.Desc, Parent: parent})
+		for _, ch := range d.Children {
+			walk(ch, idx)
+		}
+	}
+	for _, d := range defs {
+		walk(d, -1)
+	}
+	return out
+}
+
+// MetricIndex returns the index of the metric with the given key, or
+// -1 if absent.
+func (r *Report) MetricIndex(key string) int {
+	for i := range r.Metrics {
+		if r.Metrics[i].Key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddMetric appends a metric node (parent must already exist) and
+// returns its index. The analyzer uses it for dynamically discovered
+// metrics such as the per-metahost-pair grid specializations.
+func (r *Report) AddMetric(m Metric) int {
+	if m.Parent >= len(r.Metrics) || m.Parent < -1 {
+		panic(fmt.Sprintf("cube: AddMetric with invalid parent %d", m.Parent))
+	}
+	r.Metrics = append(r.Metrics, m)
+	r.growSev()
+	return len(r.Metrics) - 1
+}
+
+// LocIndex returns the index of the location with the given rank, or -1.
+func (r *Report) LocIndex(rank int) int {
+	for i := range r.Locs {
+		if r.Locs[i].Rank == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddCall appends a call node under parent (-1 for a root) and returns
+// its index. It does not deduplicate; use Child for lookup-or-create.
+func (r *Report) AddCall(name string, parent int) int {
+	r.Calls = append(r.Calls, CallNode{Name: name, Parent: parent})
+	r.growSev()
+	return len(r.Calls) - 1
+}
+
+// Child returns the index of parent's child with the given name,
+// creating it if needed.
+func (r *Report) Child(parent int, name string) int {
+	for i := range r.Calls {
+		if r.Calls[i].Parent == parent && r.Calls[i].Name == name {
+			return i
+		}
+	}
+	return r.AddCall(name, parent)
+}
+
+// CallPath returns the full path of a call node, root first.
+func (r *Report) CallPath(c int) []string {
+	var rev []string
+	for c >= 0 {
+		rev = append(rev, r.Calls[c].Name)
+		c = r.Calls[c].Parent
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// CallByPath resolves a path of names to a call-node index, or -1.
+func (r *Report) CallByPath(path []string) int {
+	cur := -1
+	for _, name := range path {
+		found := -1
+		for i := range r.Calls {
+			if r.Calls[i].Parent == cur && r.Calls[i].Name == name {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return -1
+		}
+		cur = found
+	}
+	return cur
+}
+
+func (r *Report) growSev() {
+	for len(r.sev) < len(r.Metrics) {
+		r.sev = append(r.sev, nil)
+	}
+	for m := range r.sev {
+		for len(r.sev[m]) < len(r.Calls) {
+			r.sev[m] = append(r.sev[m], make([]float64, len(r.Locs)))
+		}
+		for c := range r.sev[m] {
+			for len(r.sev[m][c]) < len(r.Locs) {
+				r.sev[m][c] = append(r.sev[m][c], 0)
+			}
+		}
+	}
+}
+
+// Add accumulates an exclusive severity value.
+func (r *Report) Add(metric, call, loc int, v float64) {
+	r.growSev()
+	r.sev[metric][call][loc] += v
+}
+
+// Set stores an exclusive severity value.
+func (r *Report) Set(metric, call, loc int, v float64) {
+	r.growSev()
+	r.sev[metric][call][loc] = v
+}
+
+// Value returns the exclusive severity of (metric, call, loc).
+func (r *Report) Value(metric, call, loc int) float64 {
+	if metric >= len(r.sev) || call >= len(r.sev[metric]) || loc >= len(r.sev[metric][call]) {
+		return 0
+	}
+	return r.sev[metric][call][loc]
+}
+
+// MetricChildren returns the indices of a metric's direct children.
+func (r *Report) MetricChildren(m int) []int {
+	var out []int
+	for i := range r.Metrics {
+		if r.Metrics[i].Parent == m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CallChildren returns the indices of a call node's direct children
+// (parent -1 lists the roots).
+func (r *Report) CallChildren(c int) []int {
+	var out []int
+	for i := range r.Calls {
+		if r.Calls[i].Parent == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// metricSubtree lists m and all its descendants.
+func (r *Report) metricSubtree(m int) []int {
+	out := []int{m}
+	for _, ch := range r.MetricChildren(m) {
+		out = append(out, r.metricSubtree(ch)...)
+	}
+	return out
+}
+
+// callSubtree lists c and all its descendants.
+func (r *Report) callSubtree(c int) []int {
+	out := []int{c}
+	for _, ch := range r.CallChildren(c) {
+		out = append(out, r.callSubtree(ch)...)
+	}
+	return out
+}
+
+// InclusiveMetric sums metric m's subtree at one (call, loc) cell.
+func (r *Report) InclusiveMetric(m, call, loc int) float64 {
+	total := 0.0
+	for _, mm := range r.metricSubtree(m) {
+		total += r.Value(mm, call, loc)
+	}
+	return total
+}
+
+// MetricCallValue sums metric m's subtree over one call node (all
+// locations) — the number shown next to a call-tree entry when metric
+// m is selected.
+func (r *Report) MetricCallValue(m, call int) float64 {
+	total := 0.0
+	for _, mm := range r.metricSubtree(m) {
+		for l := range r.Locs {
+			total += r.Value(mm, call, l)
+		}
+	}
+	return total
+}
+
+// MetricCallInclusive additionally sums over the call subtree.
+func (r *Report) MetricCallInclusive(m, call int) float64 {
+	total := 0.0
+	for _, c := range r.callSubtree(call) {
+		total += r.MetricCallValue(m, c)
+	}
+	return total
+}
+
+// MetricLocValue sums metric m's subtree at one (call, loc), including
+// the call subtree — the number shown in the system panel.
+func (r *Report) MetricLocValue(m, call, loc int) float64 {
+	total := 0.0
+	for _, c := range r.callSubtree(call) {
+		for _, mm := range r.metricSubtree(m) {
+			total += r.Value(mm, c, loc)
+		}
+	}
+	return total
+}
+
+// MetricTotal sums metric m's subtree over everything.
+func (r *Report) MetricTotal(m int) float64 {
+	total := 0.0
+	for _, mm := range r.metricSubtree(m) {
+		for c := range r.Calls {
+			for l := range r.Locs {
+				total += r.Value(mm, c, l)
+			}
+		}
+	}
+	return total
+}
+
+// TotalTime returns the inclusive total of the "time" metric — the
+// denominator of the percentages in Figures 6 and 7.
+func (r *Report) TotalTime() float64 {
+	m := r.MetricIndex(pattern.KeyTime)
+	if m < 0 {
+		return 0
+	}
+	return r.MetricTotal(m)
+}
+
+// MetricPercent returns metric m's inclusive share of total time.
+func (r *Report) MetricPercent(m int) float64 {
+	t := r.TotalTime()
+	if t <= 0 {
+		return 0
+	}
+	return 100 * r.MetricTotal(m) / t
+}
+
+// HottestCall returns the call node with the largest inclusive value
+// of metric m, and that value. Leaf-ward nodes win ties by being more
+// specific; returns (-1, 0) for an empty report.
+func (r *Report) HottestCall(m int) (int, float64) {
+	best, bestV := -1, 0.0
+	for c := range r.Calls {
+		v := r.MetricCallValue(m, c)
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best, bestV
+}
+
+// MetahostNames returns the distinct metahost names in location order.
+func (r *Report) MetahostNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range r.Locs {
+		if !seen[l.MetahostName] {
+			seen[l.MetahostName] = true
+			out = append(out, l.MetahostName)
+		}
+	}
+	return out
+}
+
+// MetahostValue sums metric m (inclusive, call subtree of call) over
+// every process of one metahost.
+func (r *Report) MetahostValue(m, call int, metahostName string) float64 {
+	total := 0.0
+	for l, loc := range r.Locs {
+		if loc.MetahostName == metahostName {
+			total += r.MetricLocValue(m, call, l)
+		}
+	}
+	return total
+}
+
+// Validate checks structural consistency: parent links in range and
+// acyclic, unique metric keys, unique location ranks.
+func (r *Report) Validate() error {
+	keys := map[string]bool{}
+	for i, m := range r.Metrics {
+		if m.Parent >= i {
+			return fmt.Errorf("cube: metric %d (%s) has forward or self parent %d", i, m.Key, m.Parent)
+		}
+		if m.Parent < -1 {
+			return fmt.Errorf("cube: metric %d (%s) has invalid parent %d", i, m.Key, m.Parent)
+		}
+		if keys[m.Key] {
+			return fmt.Errorf("cube: duplicate metric key %q", m.Key)
+		}
+		keys[m.Key] = true
+	}
+	for i, c := range r.Calls {
+		if c.Parent >= i || c.Parent < -1 {
+			return fmt.Errorf("cube: call node %d (%s) has invalid parent %d", i, c.Name, c.Parent)
+		}
+	}
+	ranks := map[int]bool{}
+	for _, l := range r.Locs {
+		if ranks[l.Rank] {
+			return fmt.Errorf("cube: duplicate location rank %d", l.Rank)
+		}
+		ranks[l.Rank] = true
+	}
+	return nil
+}
+
+// SortedMetricKeys returns all metric keys, sorted (for stable output).
+func (r *Report) SortedMetricKeys() []string {
+	out := make([]string, len(r.Metrics))
+	for i, m := range r.Metrics {
+		out[i] = m.Key
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PathString joins a call path for display.
+func PathString(path []string) string { return strings.Join(path, " / ") }

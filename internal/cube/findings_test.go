@@ -1,0 +1,73 @@
+package cube
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"metascope/internal/pattern"
+)
+
+func TestFindingsExtractDominantWaits(t *testing.T) {
+	r := tinyReport() // grid LS 2.0 at rank1 (B) + plain LS 1.0 at rank0, of 14 total
+	fs := r.Findings(5, 0.5)
+	if len(fs) == 0 {
+		t.Fatal("no findings")
+	}
+	top := fs[0]
+	// Late Sender inclusive (3.0) dominates; its grid child holds 2/3,
+	// below the 90 % dominance bar, so the parent is the diagnosis.
+	if top.MetricKey != pattern.KeyLateSender {
+		t.Fatalf("top finding %q", top.MetricKey)
+	}
+	if math.Abs(top.Percent-300.0/14.0) > 0.01 {
+		t.Errorf("percent %.2f", top.Percent)
+	}
+	if top.CallPath != "main / MPI_Recv" {
+		t.Errorf("call path %q", top.CallPath)
+	}
+	if top.Metahost != "B" {
+		t.Errorf("metahost %q (grid share is on B)", top.Metahost)
+	}
+}
+
+func TestFindingsPrefersDominantChild(t *testing.T) {
+	// All the Late Sender time is grid: the grid child is the finding.
+	locs := []Loc{{Rank: 0, MetahostName: "A"}, {Rank: 1, MetahostName: "B", Metahost: 1}}
+	r := New("x", FromMetricDefs(pattern.MetricTree()), locs)
+	main := r.AddCall("main", -1)
+	recv := r.AddCall("MPI_Recv", main)
+	r.Set(r.MetricIndex(pattern.KeyExecution), main, 0, 10)
+	r.Set(r.MetricIndex(pattern.KeyGridLS), recv, 1, 5)
+	fs := r.Findings(5, 0.5)
+	if len(fs) == 0 || fs[0].MetricKey != pattern.KeyGridLS {
+		t.Fatalf("findings %+v", fs)
+	}
+}
+
+func TestFindingsThresholdAndLimit(t *testing.T) {
+	r := tinyReport()
+	if fs := r.Findings(5, 99); len(fs) != 0 {
+		t.Errorf("threshold ignored: %+v", fs)
+	}
+	if fs := r.Findings(1, 0.1); len(fs) > 1 {
+		t.Errorf("limit ignored: %d findings", len(fs))
+	}
+	empty := New("e", FromMetricDefs(pattern.MetricTree()), []Loc{{Rank: 0, MetahostName: "A"}})
+	if fs := empty.Findings(3, 0.5); fs != nil {
+		t.Errorf("findings on empty report")
+	}
+}
+
+func TestRenderFindings(t *testing.T) {
+	r := tinyReport()
+	out := RenderFindings(r.Findings(3, 0.5))
+	for _, want := range []string{"Findings", "Late Sender", "% of total time", "main / MPI_Recv"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("findings text missing %q:\n%s", want, out)
+		}
+	}
+	if got := RenderFindings(nil); !strings.Contains(got, "No significant") {
+		t.Errorf("empty findings text %q", got)
+	}
+}

@@ -1,0 +1,162 @@
+package cube
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// A line-oriented text format for analysis reports, written into the
+// experiment archive as "analysis.cube". The format is intentionally
+// diff-friendly:
+//
+//	mscpcube 1
+//	title <quoted>
+//	metric <id> <parent> <unit> <key> <quoted-name>
+//	call <id> <parent> <quoted-name>
+//	loc <id> <rank> <metahost> <node> <quoted-metahost-name>
+//	sev <metric> <call> <loc> <value>      (non-zero cells only)
+//	end
+
+// Write serializes the report.
+func (r *Report) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "mscpcube 1")
+	fmt.Fprintf(bw, "title %s\n", strconv.Quote(r.Title))
+	for i, m := range r.Metrics {
+		fmt.Fprintf(bw, "metric %d %d %s %s %s\n", i, m.Parent, m.Unit, m.Key, strconv.Quote(m.Name))
+	}
+	for i, c := range r.Calls {
+		fmt.Fprintf(bw, "call %d %d %s\n", i, c.Parent, strconv.Quote(c.Name))
+	}
+	for i, l := range r.Locs {
+		fmt.Fprintf(bw, "loc %d %d %d %d %s\n", i, l.Rank, l.Metahost, l.Node, strconv.Quote(l.MetahostName))
+	}
+	for m := range r.Metrics {
+		for c := range r.Calls {
+			for l := range r.Locs {
+				if v := r.Value(m, c, l); v != 0 {
+					fmt.Fprintf(bw, "sev %d %d %d %.17g\n", m, c, l, v)
+				}
+			}
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// Read parses a report written by Write.
+func Read(rd io.Reader) (*Report, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("cube: empty input")
+	}
+	if strings.TrimSpace(sc.Text()) != "mscpcube 1" {
+		return nil, fmt.Errorf("cube: bad header %q", sc.Text())
+	}
+	r := &Report{}
+	lineNo := 1
+	sawEnd := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "end" {
+			sawEnd = true
+			break
+		}
+		verb, rest, _ := strings.Cut(line, " ")
+		bad := func(err error) (*Report, error) {
+			return nil, fmt.Errorf("cube: line %d (%s): %v", lineNo, verb, err)
+		}
+		switch verb {
+		case "title":
+			t, err := strconv.Unquote(rest)
+			if err != nil {
+				return bad(err)
+			}
+			r.Title = t
+		case "metric":
+			f := strings.SplitN(rest, " ", 5)
+			if len(f) != 5 {
+				return bad(fmt.Errorf("want 5 fields, got %d", len(f)))
+			}
+			id, err1 := strconv.Atoi(f[0])
+			parent, err2 := strconv.Atoi(f[1])
+			name, err3 := strconv.Unquote(f[4])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return bad(fmt.Errorf("malformed metric line"))
+			}
+			if id != len(r.Metrics) {
+				return bad(fmt.Errorf("metric ids must be dense and ordered (got %d, want %d)", id, len(r.Metrics)))
+			}
+			r.Metrics = append(r.Metrics, Metric{Parent: parent, Unit: f[2], Key: f[3], Name: name})
+		case "call":
+			f := strings.SplitN(rest, " ", 3)
+			if len(f) != 3 {
+				return bad(fmt.Errorf("want 3 fields, got %d", len(f)))
+			}
+			id, err1 := strconv.Atoi(f[0])
+			parent, err2 := strconv.Atoi(f[1])
+			name, err3 := strconv.Unquote(f[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return bad(fmt.Errorf("malformed call line"))
+			}
+			if id != len(r.Calls) {
+				return bad(fmt.Errorf("call ids must be dense and ordered"))
+			}
+			r.Calls = append(r.Calls, CallNode{Parent: parent, Name: name})
+		case "loc":
+			f := strings.SplitN(rest, " ", 5)
+			if len(f) != 5 {
+				return bad(fmt.Errorf("want 5 fields, got %d", len(f)))
+			}
+			id, err1 := strconv.Atoi(f[0])
+			rank, err2 := strconv.Atoi(f[1])
+			mh, err3 := strconv.Atoi(f[2])
+			node, err4 := strconv.Atoi(f[3])
+			name, err5 := strconv.Unquote(f[4])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+				return bad(fmt.Errorf("malformed loc line"))
+			}
+			if id != len(r.Locs) {
+				return bad(fmt.Errorf("loc ids must be dense and ordered"))
+			}
+			r.Locs = append(r.Locs, Loc{Rank: rank, Metahost: mh, Node: node, MetahostName: name})
+		case "sev":
+			f := strings.Fields(rest)
+			if len(f) != 4 {
+				return bad(fmt.Errorf("want 4 fields, got %d", len(f)))
+			}
+			m, err1 := strconv.Atoi(f[0])
+			c, err2 := strconv.Atoi(f[1])
+			l, err3 := strconv.Atoi(f[2])
+			v, err4 := strconv.ParseFloat(f[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return bad(fmt.Errorf("malformed sev line"))
+			}
+			if m < 0 || m >= len(r.Metrics) || c < 0 || c >= len(r.Calls) || l < 0 || l >= len(r.Locs) {
+				return bad(fmt.Errorf("sev indices out of range"))
+			}
+			r.Set(m, c, l, v)
+		default:
+			return bad(fmt.Errorf("unknown verb"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("cube: truncated input (missing end marker)")
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	r.growSev()
+	return r, nil
+}

@@ -1,0 +1,74 @@
+package cube
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"metascope/internal/pattern"
+)
+
+func TestRenderHTMLWellFormed(t *testing.T) {
+	r := tinyReport()
+	var buf bytes.Buffer
+	if err := r.RenderHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>",
+		"tiny", "Metric hierarchy",
+		"Late Sender", "Grid Late Sender",
+		"Call tree", "System tree",
+		"MPI_Recv",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Balanced structural tags.
+	for _, tag := range []string{"table", "details", "summary"} {
+		open := strings.Count(out, "<"+tag+">") + strings.Count(out, "<"+tag+" ")
+		if closed := strings.Count(out, "</"+tag+">"); open != closed {
+			t.Errorf("unbalanced <%s>: %d open, %d closed", tag, open, closed)
+		}
+	}
+}
+
+func TestRenderHTMLEscapesNames(t *testing.T) {
+	locs := []Loc{{Rank: 0, MetahostName: "A"}}
+	r := New("evil <script>alert(1)</script>", FromMetricDefs(pattern.MetricTree()), locs)
+	c := r.AddCall("fn<script>&", -1)
+	r.Set(r.MetricIndex(pattern.KeyExecution), c, 0, 1.0)
+	var buf bytes.Buffer
+	if err := r.RenderHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<script>alert") || strings.Contains(out, "fn<script>") {
+		t.Fatalf("unescaped HTML injection")
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Errorf("expected escaped entities in output")
+	}
+}
+
+func TestRenderHTMLSectionOrdering(t *testing.T) {
+	// Sections are ordered most-severe first: Grid LS (2.0) before the
+	// plain LS (1.0 exclusive, 3.0 inclusive)… inclusive drives the
+	// order, so Late Sender (3.0) precedes Grid Late Sender (2.0).
+	r := tinyReport()
+	var buf bytes.Buffer
+	if err := r.RenderHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ls := strings.Index(out, "<summary>Late Sender</summary>")
+	gls := strings.Index(out, "<summary>Grid Late Sender</summary>")
+	if ls < 0 || gls < 0 {
+		t.Fatalf("sections missing (ls=%d gls=%d)", ls, gls)
+	}
+	if ls > gls {
+		t.Errorf("sections not ordered by severity")
+	}
+}

@@ -1,0 +1,317 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5). Each experiment is a pure function of a
+// random seed, so the cmd/mtexperiments tool, the benchmark harness
+// (bench_test.go), and the integration tests all share one
+// implementation and produce identical numbers for identical seeds.
+//
+// Index (see DESIGN.md §5 for the mapping to modules):
+//
+//	Table1  — internal/external network latencies (apps/pingpong)
+//	Table2  — clock-condition violations per sync scheme (apps/clockbench)
+//	Figure1 — clock offset+drift divergence (vclock)
+//	Figure3 — flat vs hierarchical offset error (ground truth compare)
+//	Figure6 — three-metahost MetaTrace analysis (apps/metatrace, Table 3 exp 1)
+//	Figure7 — one-metahost MetaTrace analysis (apps/metatrace, Table 3 exp 2)
+//	Algebra — §6 future work: cube difference of Figure6 vs Figure7
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"metascope"
+	"metascope/internal/apps/clockbench"
+	"metascope/internal/apps/metatrace"
+	"metascope/internal/apps/pingpong"
+	"metascope/internal/cube"
+	"metascope/internal/measure"
+	"metascope/internal/pattern"
+	"metascope/internal/replay"
+	"metascope/internal/sim"
+	"metascope/internal/topology"
+	"metascope/internal/vclock"
+)
+
+// Table1 measures the latencies of Table 1 on the VIOLA testbed: the
+// external FZJ–FH-BRS link and the FZJ and FH-BRS internal networks.
+func Table1(seed int64, rounds int) ([]pingpong.Result, error) {
+	topo := metascope.VIOLA()
+	place := metascope.ViolaExperiment1Placement(topo)
+	if err := place.Validate(); err != nil {
+		return nil, err
+	}
+	pairs, err := pingpong.Table1Pairs(place)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(seed)
+	return pingpong.Measure(eng, place, pairs, rounds, 64)
+}
+
+// FormatTable1 renders the measurement like the paper's Table 1.
+func FormatTable1(rs []pingpong.Result) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Latencies of the internal and external networks in VIOLA\n")
+	fmt.Fprintf(&b, "  %-34s %12s %18s\n", "", "mean [us]", "std. deviation [us]")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "  %-34s %12.2f %18.3f\n", r.Label, r.Mean*1e6, r.StdDev*1e6)
+	}
+	return b.String()
+}
+
+// Table2Result holds the violation counts per synchronization scheme.
+type Table2Result struct {
+	Violations map[vclock.Scheme]int
+	Messages   int
+}
+
+// Table2 runs the clock benchmark on VIOLA (Experiment 1 placement)
+// and counts clock-condition violations under the three schemes of
+// Table 2: a single flat offset, two flat offsets with interpolation,
+// and two hierarchical offsets with interpolation.
+func Table2(seed int64, params clockbench.Params) (*Table2Result, error) {
+	topo := metascope.VIOLA()
+	place := metascope.ViolaExperiment1Placement(topo)
+	e := metascope.NewExperiment("clockbench", topo, place, seed)
+	if err := e.Build(); err != nil {
+		return nil, err
+	}
+	if err := e.Run(func(m *measure.M) { clockbench.Body(m, params) }); err != nil {
+		return nil, err
+	}
+	all, err := e.AnalyzeAll()
+	if err != nil {
+		return nil, err
+	}
+	out := &Table2Result{Violations: make(map[vclock.Scheme]int, 3)}
+	for s, r := range all {
+		out.Violations[s] = r.Violations
+		out.Messages = r.Messages
+	}
+	return out, nil
+}
+
+// FormatTable2 renders the counts like the paper's Table 2.
+func FormatTable2(t *Table2Result) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Number of clock condition violations recognized by the parallel analyzer\n")
+	fmt.Fprintf(&b, "  (%d point-to-point messages replayed)\n", t.Messages)
+	fmt.Fprintf(&b, "  %-28s %s\n", "Measurement", "clock condition violations")
+	for _, s := range []vclock.Scheme{vclock.FlatSingle, vclock.FlatInterp, vclock.Hierarchical} {
+		fmt.Fprintf(&b, "  %-28s %d\n", s.String(), t.Violations[s])
+	}
+	return b.String()
+}
+
+// Figure1Point is one sample of the clock-divergence illustration.
+type Figure1Point struct {
+	T          float64 // true time
+	Divergence float64 // max pairwise clock difference
+}
+
+// Figure1 samples the maximum pairwise divergence of the VIOLA node
+// clocks over an interval — the situation sketched in Figure 1: clocks
+// with both initial offset and different constant drifts drift apart
+// linearly.
+func Figure1(seed int64, horizon float64, samples int) []Figure1Point {
+	eng := sim.NewEngine(seed)
+	topo := metascope.VIOLA()
+	clocks := vclock.Generate(eng, topo)
+	out := make([]Figure1Point, samples)
+	for i := 0; i < samples; i++ {
+		t := horizon * float64(i) / float64(samples-1)
+		out[i] = Figure1Point{T: t, Divergence: clocks.MaxDivergence(t)}
+	}
+	return out
+}
+
+// FormatFigure1 renders the divergence series.
+func FormatFigure1(pts []Figure1Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: Clocks with both initial offset and different constant drifts\n")
+	b.WriteString("  max pairwise divergence of VIOLA node clocks over true time\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  t=%8.1f s   divergence=%.6f s\n", p.T, p.Divergence)
+	}
+	return b.String()
+}
+
+// Figure3Row summarizes the synchronization error of one scheme.
+type Figure3Row struct {
+	Scheme vclock.Scheme
+	// MaxIntraError is the largest pairwise synchronization error
+	// between two processes on the same metahost (the error that must
+	// stay below the internal network latency to satisfy the clock
+	// condition on internal messages).
+	MaxIntraError float64
+	// MaxInterError is the largest pairwise error between processes on
+	// different metahosts (bounded by the external latency).
+	MaxInterError float64
+}
+
+// Figure3 quantifies the comparison sketched in Figure 3: the flat
+// scheme derives intra-metahost offsets from two measurements across
+// the external network, inflating the relative error between processes
+// connected by a low-latency link; the hierarchical scheme keeps
+// intra-metahost errors at internal-measurement accuracy. Errors are
+// computed against the simulator's ground-truth clocks at mid-run.
+func Figure3(seed int64, params clockbench.Params) ([]Figure3Row, float64, error) {
+	topo := metascope.VIOLA()
+	place := metascope.ViolaExperiment1Placement(topo)
+	e := metascope.NewExperiment("figure3", topo, place, seed)
+	if err := e.Build(); err != nil {
+		return nil, 0, err
+	}
+	if err := e.Run(func(m *measure.M) { clockbench.Body(m, params) }); err != nil {
+		return nil, 0, err
+	}
+	traces, err := e.Traces()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Ground truth: the correction should map a process's local reading
+	// onto the master clock's reading of the same instant.
+	clocks := e.Clocks()
+	master := clocks.ForLoc(place.Loc(0))
+	tMid := e.Engine().Now() / 2
+
+	var rows []Figure3Row
+	for _, scheme := range []vclock.Scheme{vclock.FlatSingle, vclock.FlatInterp, vclock.Hierarchical} {
+		corr, err := replay.BuildCorrections(traces, scheme)
+		if err != nil {
+			return nil, 0, err
+		}
+		corrected := make([]float64, len(corr))
+		for r := range corr {
+			local := clocks.ForLoc(place.Loc(r)).Read(tMid)
+			corrected[r] = corr[r].Map.Apply(local)
+		}
+		want := master.Read(tMid)
+		row := Figure3Row{Scheme: scheme}
+		for a := range corrected {
+			_ = want
+			for bn := a + 1; bn < len(corrected); bn++ {
+				diff := corrected[a] - corrected[bn]
+				if diff < 0 {
+					diff = -diff
+				}
+				sameMH := place.Loc(a).Metahost == place.Loc(bn).Metahost
+				if sameMH && diff > row.MaxIntraError {
+					row.MaxIntraError = diff
+				}
+				if !sameMH && diff > row.MaxInterError {
+					row.MaxInterError = diff
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	minInternal := topo.Metahost(2).Internal.LatencyMean // FZJ, the tightest bound
+	return rows, minInternal, nil
+}
+
+// FormatFigure3 renders the error comparison.
+func FormatFigure3(rows []Figure3Row, internalLatency float64) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Flat vs. hierarchical synchronization (max pairwise error at mid-run)\n")
+	fmt.Fprintf(&b, "  clock condition on internal messages requires intra-metahost error < %.1f us\n",
+		internalLatency*1e6)
+	fmt.Fprintf(&b, "  %-28s %20s %20s\n", "scheme", "intra-metahost [us]", "inter-metahost [us]")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %20.2f %20.2f\n", r.Scheme.String(), r.MaxIntraError*1e6, r.MaxInterError*1e6)
+	}
+	return b.String()
+}
+
+// MetaTraceResult bundles the analysis of one MetaTrace experiment.
+type MetaTraceResult struct {
+	Res *replay.Result
+	// Shares of total execution time, in percent (the numbers quoted
+	// in §5: Grid Late Sender 9.3 %, Grid Wait at Barrier 23.1 % for
+	// the three-metahost case).
+	Pct map[string]float64
+}
+
+func metaTraceRun(title string, topo *topology.Metacomputer, place *topology.Placement, seed int64) (*MetaTraceResult, error) {
+	e := metascope.NewExperiment(title, topo, place, seed)
+	if err := e.Build(); err != nil {
+		return nil, err
+	}
+	params, err := metatrace.Setup(e.World(), metatrace.Default(place.N()/2))
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Run(func(m *measure.M) { metatrace.Body(m, params) }); err != nil {
+		return nil, err
+	}
+	res, err := e.Analyze(vclock.Hierarchical)
+	if err != nil {
+		return nil, err
+	}
+	out := &MetaTraceResult{Res: res, Pct: make(map[string]float64)}
+	for _, key := range []string{
+		pattern.KeyLateSender, pattern.KeyGridLS,
+		pattern.KeyWaitBarrier, pattern.KeyGridWB,
+		pattern.KeyWaitNxN, pattern.KeyGridNxN,
+		pattern.KeyLateRecv, pattern.KeyGridLR,
+		pattern.KeyMPI,
+	} {
+		if m := res.Report.MetricIndex(key); m >= 0 {
+			out.Pct[key] = res.Report.MetricPercent(m)
+		}
+	}
+	return out, nil
+}
+
+// Figure6 runs MetaTrace in the three-metahost configuration of
+// Table 3 (Experiment 1: Partrace on the XD1, Trace split across
+// FH-BRS and CAESAR) and analyzes it hierarchically.
+func Figure6(seed int64) (*MetaTraceResult, error) {
+	topo := metascope.VIOLA()
+	place := metascope.ViolaExperiment1Placement(topo)
+	return metaTraceRun("metatrace-exp1", topo, place, seed)
+}
+
+// Figure7 runs MetaTrace in the one-metahost configuration of Table 3
+// (Experiment 2: both submodels on the IBM AIX POWER system).
+func Figure7(seed int64) (*MetaTraceResult, error) {
+	topo := metascope.IBMPower()
+	place := metascope.IBMExperiment2Placement(topo)
+	return metaTraceRun("metatrace-exp2", topo, place, seed)
+}
+
+// FormatMetaTrace renders the headline shares and the three-panel view
+// for the two dominant grid patterns, the textual equivalent of the
+// Figure 6/7 screenshots.
+func FormatMetaTrace(title string, r *MetaTraceResult, grid bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "  messages=%d collectives=%d violations=%d total=%.1f s\n",
+		r.Res.Messages, r.Res.Collectives, r.Res.Violations, r.Res.Report.TotalTime())
+	lsKey, wbKey := pattern.KeyLateSender, pattern.KeyWaitBarrier
+	if grid {
+		lsKey, wbKey = pattern.KeyGridLS, pattern.KeyGridWB
+	}
+	fmt.Fprintf(&b, "  %-28s %5.1f %% of total time\n", r.Res.Report.Metrics[r.Res.Report.MetricIndex(lsKey)].Name, r.Pct[lsKey])
+	fmt.Fprintf(&b, "  %-28s %5.1f %% of total time\n\n", r.Res.Report.Metrics[r.Res.Report.MetricIndex(wbKey)].Name, r.Pct[wbKey])
+	b.WriteString(cube.RenderFindings(r.Res.Report.Findings(4, 0.5)))
+	b.WriteString("\n")
+	b.WriteString(r.Res.Report.RenderFigure(lsKey))
+	b.WriteString("\n")
+	b.WriteString(r.Res.Report.RenderFigure(wbKey))
+	return b.String()
+}
+
+// Algebra computes the cross-experiment difference (Figure6 − Figure7)
+// with the cube algebra, the comparative analysis §6 proposes.
+func Algebra(seed int64) (*cube.Report, error) {
+	a, err := Figure6(seed)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Figure7(seed)
+	if err != nil {
+		return nil, err
+	}
+	return cube.Diff(a.Res.Report, b.Res.Report), nil
+}

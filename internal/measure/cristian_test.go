@@ -1,0 +1,90 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"metascope/internal/vclock"
+)
+
+// TestCristianErrorBoundHolds validates the remote-clock-reading
+// guarantee end-to-end against the simulator's ground truth: the
+// estimated offset must deviate from the true offset by no more than
+// the half-round-trip error bound recorded with the measurement
+// (Cristian 1989, the paper's reference [6]).
+func TestCristianErrorBoundHolds(t *testing.T) {
+	for _, seed := range []int64{31, 32, 33} {
+		r := newRig(t, seed, false)
+		_, err := Run(r.world, r.config(), func(m *M) {
+			m.Enter("main")
+			m.Elapse(2)
+			m.Exit()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank := 0; rank < 8; rank++ {
+			tr := r.loadTrace(t, rank)
+			s := tr.Sync
+			if s.SharedNodeClock && s.LocalStart.Err == 0 {
+				continue // trivially exact
+			}
+			slave := r.clocks.ForLoc(r.place.Loc(rank))
+			master := r.clocks.ForLoc(r.place.Loc(s.LocalMasterRank))
+			check := func(name string, meas vclock.Measurement, ref *vclock.Clock) {
+				if meas.Err == 0 && meas.Offset == 0 {
+					return // zero measurement (shared clock)
+				}
+				// True offset at the measurement instant: find the
+				// global time whose slave reading is meas.Local.
+				inv, err := slave.TrueMap().Invert()
+				if err != nil {
+					t.Fatal(err)
+				}
+				g := inv.Apply(meas.Local)
+				trueOffset := ref.Read(g) - slave.Read(g)
+				if dev := math.Abs(meas.Offset - trueOffset); dev > meas.Err+1e-6 {
+					t.Errorf("seed %d rank %d %s: estimate off by %.3g s, bound %.3g s",
+						seed, rank, name, dev, meas.Err)
+				}
+			}
+			check("local start", s.LocalStart, master)
+			check("local end", s.LocalEnd, master)
+			global := r.clocks.ForLoc(r.place.Loc(0))
+			check("flat start", s.FlatStart, global)
+			check("flat end", s.FlatEnd, global)
+		}
+	}
+}
+
+// TestMeasurementErrScalesWithLatency: offset measurements across the
+// external network must report larger error bounds than internal ones
+// — the observation motivating the hierarchical scheme (§4).
+func TestMeasurementErrScalesWithLatency(t *testing.T) {
+	r := newRig(t, 34, false)
+	_, err := Run(r.world, r.config(), func(m *M) {
+		m.Enter("main")
+		m.Elapse(1)
+		m.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 4 is beta's local master: its flat measurement crossed the
+	// external link (1 ms), its local one is trivial. Rank 6 measured
+	// locally across beta's internal network (20 us).
+	t4 := r.loadTrace(t, 4)
+	t6 := r.loadTrace(t, 6)
+	extErr := t4.Sync.FlatStart.Err
+	intErr := t6.Sync.LocalStart.Err
+	if extErr < 10*intErr {
+		t.Errorf("external measurement bound %.3g not ≫ internal %.3g", extErr, intErr)
+	}
+	// Error bounds are at least the one-way latency.
+	if extErr < 0.9e-3 {
+		t.Errorf("external bound %.3g below one-way latency", extErr)
+	}
+	if intErr < 15e-6 {
+		t.Errorf("internal bound %.3g below one-way latency", intErr)
+	}
+}

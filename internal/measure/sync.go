@@ -1,0 +1,293 @@
+package measure
+
+import (
+	"sort"
+
+	"metascope/internal/vclock"
+)
+
+// This file implements the offset measurements behind post-mortem time
+// synchronization (§3 "Synchronization of time stamps" and §4
+// "Hierarchical synchronization of time stamps").
+//
+// An offset is measured with Cristian's remote clock reading: the
+// slave sends a ping carrying nothing, the master replies with its
+// current clock value t2, and the slave computes
+//
+//	offset = t2 − (t1 + t3)/2
+//
+// from its own send (t1) and receive (t3) readings, keeping the
+// exchange with the smallest round trip among PingPongs attempts. The
+// estimate's error is bounded by half the round-trip time minus the
+// minimal one-way latency, so measurements across the high-latency,
+// high-jitter external network are markedly less accurate than across
+// a metahost's internal network — the effect that motivates the
+// hierarchical scheme.
+//
+// Processes that share a node clock with their master (same SMP node,
+// or a metahost with hardware clock synchronization) skip the exchange
+// and record a zero offset.
+
+// sharesClock reports whether two ranks read the same physical clock
+// (same SMP node, or a metahost with hardware clock synchronization).
+func (m *M) sharesClock(a, b int) bool {
+	place := m.rt.world.Placement()
+	return m.rt.cfg.Clocks.ForLoc(place.Loc(a)) == m.rt.cfg.Clocks.ForLoc(place.Loc(b))
+}
+
+// clockMaster returns the lowest rank reading the same clock as rank.
+// Offset measurements are taken per clock domain — per *node*, as in
+// the paper ("offset measurements between one master node … and all
+// the remaining (slave) nodes"); processes sharing the node clock
+// reuse their clock master's measurement, so their corrections are
+// identical and same-node messages can never violate the clock
+// condition.
+func (m *M) clockMaster(rank int) int {
+	for r := 0; r <= rank; r++ {
+		if m.sharesClock(r, rank) {
+			return r
+		}
+	}
+	return rank
+}
+
+// measurePhase runs the full measurement round at program start
+// (start=true) or end. It measures both the flat offsets (every node
+// against the global master, the previous scheme) and the hierarchical
+// ones (node masters against local masters, local masters against the
+// metamaster), so one trace supports re-analysis under every scheme of
+// Table 2.
+func (m *M) measurePhase(start bool) {
+	world := m.p.World()
+	place := m.rt.world.Placement()
+	rank := m.p.Rank()
+	n := world.Size()
+
+	m.sync.GlobalMasterRank = 0
+	m.sync.LocalMasterRank = m.localMaster
+
+	isClockMaster := m.clockMaster(rank) == rank
+
+	// ---- Flat: every node's clock master against world rank 0. ----
+	var flat vclock.Measurement
+	if m.sharesClock(rank, 0) {
+		flat = m.zeroMeasurement()
+	}
+	if rank == 0 {
+		var slaves []int
+		for r := 1; r < n; r++ {
+			if m.clockMaster(r) == r && !m.sharesClock(r, 0) {
+				slaves = append(slaves, r)
+			}
+		}
+		m.serveOffsetSlaves(slaves)
+	} else if isClockMaster && !m.sharesClock(rank, 0) {
+		flat = m.measureOffsetAgainst(0)
+	}
+	world.Barrier()
+
+	// ---- Hierarchical phase A: local masters against the metamaster. ----
+	localMasters := localMastersOf(place)
+	var master vclock.Measurement // this process's local master → metamaster
+	if rank == 0 {
+		var served []int
+		for _, lm := range localMasters {
+			if lm != 0 && !m.sharesClock(lm, 0) {
+				served = append(served, lm)
+			}
+		}
+		m.serveOffsetSlaves(served)
+		master = m.zeroMeasurement()
+	} else if m.IsLocalMaster() {
+		if m.sharesClock(rank, 0) {
+			master = m.zeroMeasurement()
+		} else {
+			master = m.measureOffsetAgainst(0)
+		}
+	}
+	world.Barrier()
+
+	// ---- Hierarchical phase B: node masters against their local master. ----
+	var local vclock.Measurement
+	shared := false
+	switch {
+	case m.IsLocalMaster():
+		var slaves []int
+		for _, r := range place.RanksOn(m.p.Loc().Metahost) {
+			if r != rank && m.clockMaster(r) == r && !m.sharesClock(r, rank) {
+				slaves = append(slaves, r)
+			}
+		}
+		m.serveOffsetSlaves(slaves)
+		local = m.zeroMeasurement()
+		shared = true // a master is trivially synchronized with itself
+	case m.sharesClock(rank, m.localMaster):
+		local = m.zeroMeasurement()
+		shared = true
+	case isClockMaster:
+		local = m.measureOffsetAgainst(m.localMaster)
+	default:
+		// Not a clock master: measurements arrive by copy from the
+		// node's clock master in shareNodeMeasurements.
+	}
+	world.Barrier()
+
+	if start {
+		m.sync.FlatStart = flat
+		m.sync.LocalStart = local
+		m.sync.MasterStart = master
+		m.sync.SharedNodeClock = shared
+	} else {
+		m.sync.FlatEnd = flat
+		m.sync.LocalEnd = local
+		m.sync.MasterEnd = master
+		// SharedNodeClock cannot change mid-run; keep the start value.
+	}
+}
+
+// zeroMeasurement records a trivially exact offset for processes that
+// share their master's clock.
+func (m *M) zeroMeasurement() vclock.Measurement {
+	return vclock.Measurement{Local: m.now(), Offset: 0, Err: 0}
+}
+
+// measureOffsetAgainst performs the remote clock reading against
+// masterRank. The master must concurrently run serveOffsetSlaves with
+// this rank in its list.
+func (m *M) measureOffsetAgainst(masterRank int) vclock.Measurement {
+	c := m.p.World()
+	k := m.rt.cfg.pingPongs()
+	// Wait until the master turns to us, so queueing delay at a busy
+	// master does not contaminate the round-trip times.
+	c.Recv(masterRank, tagGo)
+	best := vclock.Measurement{Err: -1}
+	bestRTT := 0.0
+	for i := 0; i < k; i++ {
+		t1 := m.now()
+		c.SendData(masterRank, tagPP, 16, nil)
+		st := c.Recv(masterRank, tagPP)
+		t3 := m.now()
+		t2 := st.Data.(float64)
+		rtt := t3 - t1
+		if best.Err < 0 || rtt < bestRTT {
+			bestRTT = rtt
+			best = vclock.Measurement{
+				Local:  (t1 + t3) / 2,
+				Offset: t2 - (t1+t3)/2,
+				Err:    rtt / 2,
+			}
+		}
+	}
+	return best
+}
+
+// serveOffsetSlaves answers the ping-pongs of each slave in turn,
+// replying with this process's current clock reading.
+func (m *M) serveOffsetSlaves(slaves []int) {
+	c := m.p.World()
+	k := m.rt.cfg.pingPongs()
+	for _, s := range slaves {
+		c.SendData(s, tagGo, 8, nil)
+		for i := 0; i < k; i++ {
+			c.Recv(s, tagPP)
+			c.SendData(s, tagPP, 16, m.now())
+		}
+	}
+}
+
+// shareNodeMeasurements distributes each clock master's flat and local
+// measurements to the processes sharing its clock, making all
+// corrections within one clock domain identical.
+func (m *M) shareNodeMeasurements() {
+	c := m.p.World()
+	rank := m.p.Rank()
+	cm := m.clockMaster(rank)
+	if cm == rank {
+		for r := rank + 1; r < c.Size(); r++ {
+			if m.sharesClock(r, rank) && m.clockMaster(r) == rank {
+				c.SendData(r, tagNode, 96, [4]vclock.Measurement{
+					m.sync.FlatStart, m.sync.FlatEnd, m.sync.LocalStart, m.sync.LocalEnd,
+				})
+			}
+		}
+		return
+	}
+	st := c.Recv(cm, tagNode)
+	ms := st.Data.([4]vclock.Measurement)
+	m.sync.FlatStart, m.sync.FlatEnd = ms[0], ms[1]
+	m.sync.LocalStart, m.sync.LocalEnd = ms[2], ms[3]
+	// Sharing the clock master's measurement is only valid because the
+	// clocks are physically identical; keep the flag consistent.
+	m.sync.SharedNodeClock = m.sync.SharedNodeClock || m.sharesClock(rank, m.localMaster)
+}
+
+// shareMasterMeasurements distributes each local master's metamaster
+// measurements to the slaves on its metahost, so every trace file is
+// self-contained for hierarchical correction.
+func (m *M) shareMasterMeasurements() {
+	c := m.p.World()
+	place := m.rt.world.Placement()
+	if m.IsLocalMaster() {
+		for _, r := range place.RanksOn(m.p.Loc().Metahost) {
+			if r == m.p.Rank() {
+				continue
+			}
+			c.SendData(r, tagMaster, 48, [2]vclock.Measurement{m.sync.MasterStart, m.sync.MasterEnd})
+		}
+		return
+	}
+	st := c.Recv(m.localMaster, tagMaster)
+	pair := st.Data.([2]vclock.Measurement)
+	m.sync.MasterStart, m.sync.MasterEnd = pair[0], pair[1]
+}
+
+// localMastersOf returns the lowest rank of every used metahost,
+// ascending by metahost id.
+func localMastersOf(place interface {
+	MetahostsUsed() []int
+	RanksOn(int) []int
+}) []int {
+	var out []int
+	for _, mh := range place.MetahostsUsed() {
+		ranks := place.RanksOn(mh)
+		out = append(out, ranks[0])
+	}
+	sort.Ints(out)
+	return out
+}
+
+// protocolComm adapts the raw world communicator to the small
+// collective interface of the archive protocol. These exchanges happen
+// during initialization, before tracing, and are therefore untraced.
+type protocolComm struct{ m *M }
+
+func (pc *protocolComm) Rank() int { return pc.m.p.Rank() }
+func (pc *protocolComm) Size() int { return pc.m.p.World().Size() }
+
+func (pc *protocolComm) BcastBool(root int, v bool) bool {
+	c := pc.m.p.World()
+	if c.Rank() == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.SendData(r, tagCtl, 1, v)
+			}
+		}
+		return v
+	}
+	st := c.Recv(root, tagCtl)
+	return st.Data.(bool)
+}
+
+func (pc *protocolComm) AllAnd(v bool) bool {
+	c := pc.m.p.World()
+	if c.Rank() == 0 {
+		acc := v
+		for r := 1; r < c.Size(); r++ {
+			st := c.Recv(r, tagCtl)
+			acc = acc && st.Data.(bool)
+		}
+		return pc.BcastBool(0, acc)
+	}
+	c.SendData(0, tagCtl, 1, v)
+	return pc.BcastBool(0, false)
+}

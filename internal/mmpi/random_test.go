@@ -1,0 +1,150 @@
+package mmpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"metascope/internal/sim"
+)
+
+// Randomized robustness tests: structured-random workloads that must
+// always terminate with consistent message accounting, whatever the
+// interleaving of compute delays, tags, and collective mixes.
+
+// randomizedWorkload runs `rounds` of a seeded random schedule on 8
+// ranks. Every round each rank draws the same pseudo-random plan
+// (common seed), so matching sends/receives and collective calls line
+// up by construction, while per-rank compute jitter varies timings.
+func randomizedWorkload(t *testing.T, seed int64, rounds int) {
+	t.Helper()
+	w, _ := newTestWorld(seed, 8)
+	recvCount := make([]int, 8)
+	sendCount := make([]int, 8)
+	err := w.Run(func(p *Proc) {
+		c := p.World()
+		n := c.Size()
+		plan := rand.New(rand.NewSource(seed)) // identical on every rank
+		mine := rand.New(rand.NewSource(seed + int64(p.Rank()) + 1))
+		for r := 0; r < rounds; r++ {
+			p.Elapse(mine.Float64() * 0.01)
+			switch plan.Intn(6) {
+			case 0: // ring shift with a random stride and tag
+				s := plan.Intn(n-1) + 1
+				tag := plan.Intn(50)
+				bytes := plan.Intn(100 << 10) // crosses the eager limit sometimes
+				c.Sendrecv((p.Rank()+s)%n, tag, bytes, (p.Rank()-s+n)%n, tag)
+				sendCount[p.Rank()]++
+				recvCount[p.Rank()]++
+			case 1: // pair exchange: lower half ↔ upper half
+				tag := plan.Intn(50)
+				peer := (p.Rank() + n/2) % n
+				if p.Rank() < n/2 {
+					c.Send(peer, tag, 512)
+					c.Recv(peer, tag)
+				} else {
+					c.Recv(peer, tag)
+					c.Send(peer, tag, 512)
+				}
+				sendCount[p.Rank()]++
+				recvCount[p.Rank()]++
+			case 2:
+				c.Barrier()
+			case 3:
+				c.Allreduce(plan.Intn(4096))
+			case 4:
+				root := plan.Intn(n)
+				c.Bcast(root, plan.Intn(8192))
+			case 5:
+				root := plan.Intn(n)
+				c.Reduce(root, plan.Intn(8192))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	for r := 0; r < 8; r++ {
+		if sendCount[r] != sendCount[0] || recvCount[r] != recvCount[0] {
+			t.Fatalf("seed %d: uneven accounting: %v / %v", seed, sendCount, recvCount)
+		}
+	}
+}
+
+func TestRandomizedWorkloadsTerminate(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			randomizedWorkload(t, seed, 60)
+		})
+	}
+}
+
+// TestRecvNeverBeforeMinimalLatency: a receive can never complete
+// earlier than its send plus a minimal physical latency, under any
+// random schedule — the simulation-side clock condition.
+func TestRecvNeverBeforeMinimalLatency(t *testing.T) {
+	mc := testTopo()
+	place := place8(mc)
+	w := NewWorld(sim.NewEngine(99), place)
+	minLat := mc.Metahost(0).NodeLocal.LatencyMean / 8
+	err := w.Run(func(p *Proc) {
+		c := p.World()
+		n := c.Size()
+		rng := rand.New(rand.NewSource(int64(p.Rank())))
+		for r := 1; r < 40; r++ {
+			s := r%(n-1) + 1
+			p.Elapse(rng.Float64() * 0.005)
+			sendAt := p.Now()
+			st := c.Sendrecv((p.Rank()+s)%n, 9, 64, (p.Rank()-s+n)%n, 9)
+			_ = st
+			if done := p.Now(); done < sendAt+minLat {
+				t.Errorf("rank %d round %d: exchange completed in %g s (< min latency %g)",
+					p.Rank(), r, done-sendAt, minLat)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedNonblockingStress interleaves posted receives and sends in
+// randomized order with wildcard receives mixed in.
+func TestMixedNonblockingStress(t *testing.T) {
+	w, _ := newTestWorld(5, 4)
+	err := w.Run(func(p *Proc) {
+		c := p.World()
+		n := c.Size()
+		rng := rand.New(rand.NewSource(7)) // same plan everywhere
+		for round := 0; round < 30; round++ {
+			var reqs []*Request
+			// Everyone posts receives for every other rank first (half
+			// of them wildcard), then sends, then waits on everything.
+			useAny := rng.Intn(2) == 0
+			for src := 0; src < n; src++ {
+				if src == p.Rank() {
+					continue
+				}
+				if useAny {
+					reqs = append(reqs, c.Irecv(AnySource, round))
+				} else {
+					reqs = append(reqs, c.Irecv(src, round))
+				}
+			}
+			p.Elapse(float64(p.Rank()) * 0.001)
+			for dst := 0; dst < n; dst++ {
+				if dst != p.Rank() {
+					reqs = append(reqs, c.Isend(dst, round, 128))
+				}
+			}
+			sts := c.Waitall(reqs)
+			if len(sts) != 2*(n-1) {
+				t.Errorf("round %d: %d statuses", round, len(sts))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package mmpi
+
+// Rooted collectives (Bcast, Reduce, Gather, Scatter) executed as
+// binomial-tree point-to-point exchanges, the classic MPICH
+// algorithms. Unlike the fully synchronizing n-to-n operations, these
+// must not couple every participant to the latest entrant: a broadcast
+// root fires its sends and leaves; a reduce leaf pushes its
+// contribution upward and leaves. Running them over the ordinary
+// message machinery yields those blocking semantics — and the Early
+// Reduce / Late Broadcast wait states — without a separate timing
+// model.
+//
+// Tags in the 9_100_000 range are reserved for these internal
+// exchanges; application traffic must stay below that.
+
+const (
+	tagTreeBcast   = 9_100_001
+	tagTreeReduce  = 9_100_002
+	tagTreeGather  = 9_100_003
+	tagTreeScatter = 9_100_004
+	tagTreeScan    = 9_100_005
+)
+
+// Bcast broadcasts bytes from root to all members along a binomial
+// tree: a non-root first receives from its parent, then forwards to
+// its children in decreasing-subtree order.
+func (c *Comm) Bcast(root, bytes int) {
+	n := c.Size()
+	if n <= 1 {
+		return
+	}
+	rel := (c.myRank - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			c.Recv(abs(rel-mask), tagTreeBcast)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			c.Send(abs(rel+mask), tagTreeBcast, bytes)
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce combines bytes from all members at root along the mirrored
+// binomial tree: an inner node receives every child's partial result,
+// then sends its combined partial to its parent.
+func (c *Comm) Reduce(root, bytes int) {
+	c.upTree(root, tagTreeReduce, func(int) int { return bytes })
+}
+
+// Gather collects bytes from every member at root. Unlike Reduce, the
+// payload grows with the subtree: a node forwards the concatenation of
+// its own block and everything it collected.
+func (c *Comm) Gather(root, bytes int) {
+	c.upTree(root, tagTreeGather, func(sub int) int { return bytes * sub })
+}
+
+// upTree runs the leaves-to-root exchange shared by Reduce and Gather.
+// payload(sub) gives the wire size of a partial covering sub members.
+func (c *Comm) upTree(root, tag int, payload func(sub int) int) {
+	n := c.Size()
+	if n <= 1 {
+		return
+	}
+	rel := (c.myRank - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	subtree := func(r int) int { // members covered by virtual rank r's subtree
+		low := r & -r
+		if r == 0 {
+			low = n
+		}
+		if r+low > n {
+			return n - r
+		}
+		return low
+	}
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			child := rel + mask
+			if child < n {
+				c.Recv(abs(child), tag)
+			}
+		} else {
+			c.Send(abs(rel-mask), tag, payload(subtree(rel)))
+			return
+		}
+		mask <<= 1
+	}
+}
+
+// Scan computes a prefix reduction: rank i's result covers ranks
+// 0..i. The recursive-doubling implementation lets a rank leave once
+// it holds every lower-ranked contribution — later ranks never delay
+// earlier ones, matching MPI_Scan's partial synchronization.
+func (c *Comm) Scan(bytes int) {
+	n := c.Size()
+	if n <= 1 {
+		return
+	}
+	me := c.myRank
+	for step := 1; step < n; step <<= 1 {
+		if me+step < n {
+			c.Send(me+step, tagTreeScan, bytes)
+		}
+		if me-step >= 0 {
+			c.Recv(me-step, tagTreeScan)
+		}
+	}
+}
+
+// Scatter distributes bytes to every member from root along the
+// broadcast tree, with each hop carrying only its subtree's blocks.
+func (c *Comm) Scatter(root, bytes int) {
+	n := c.Size()
+	if n <= 1 {
+		return
+	}
+	rel := (c.myRank - root + n) % n
+	abs := func(r int) int { return (r + root) % n }
+	subtree := func(r int) int {
+		low := r & -r
+		if r == 0 {
+			low = n
+		}
+		if r+low > n {
+			return n - r
+		}
+		return low
+	}
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			c.Recv(abs(rel-mask), tagTreeScatter)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			c.Send(abs(rel+mask), tagTreeScatter, bytes*subtree(rel+mask))
+		}
+		mask >>= 1
+	}
+}

@@ -1,0 +1,131 @@
+package pattern
+
+// MetricDef describes one node of the metric hierarchy shown in the
+// left panel of the analysis browser (Figures 6 and 7). Key is a
+// stable machine-readable identifier used by the cube file format and
+// the cross-experiment algebra; Name is the display label.
+type MetricDef struct {
+	Key      string
+	Name     string
+	Unit     string // "sec" or "occ"
+	Desc     string
+	Children []MetricDef
+}
+
+// Metric keys referenced by the analyzer when distributing raw
+// quantities over the tree.
+const (
+	KeyTime        = "time"
+	KeyExecution   = "execution"
+	KeyMPI         = "mpi"
+	KeyComm        = "mpi.communication"
+	KeyP2P         = "mpi.communication.p2p"
+	KeyColl        = "mpi.communication.collective"
+	KeySync        = "mpi.synchronization"
+	KeyVisits      = "visits"
+	KeyLateSender  = "mpi.communication.p2p.late_sender"
+	KeyGridLS      = "mpi.communication.p2p.late_sender.grid"
+	KeyWrongOrder  = "mpi.communication.p2p.late_sender.wrong_order"
+	KeyLateRecv    = "mpi.communication.p2p.late_receiver"
+	KeyGridLR      = "mpi.communication.p2p.late_receiver.grid"
+	KeyEarlyReduce = "mpi.communication.collective.early_reduce"
+	KeyGridER      = "mpi.communication.collective.early_reduce.grid"
+	KeyLateBcast   = "mpi.communication.collective.late_broadcast"
+	KeyGridLB      = "mpi.communication.collective.late_broadcast.grid"
+	KeyWaitNxN     = "mpi.communication.collective.wait_nxn"
+	KeyGridNxN     = "mpi.communication.collective.wait_nxn.grid"
+	KeyWaitBarrier = "mpi.synchronization.wait_barrier"
+	KeyGridWB      = "mpi.synchronization.wait_barrier.grid"
+	KeyBarrierComp = "mpi.synchronization.barrier_completion"
+	KeyNxNComp     = "mpi.communication.collective.nxn_completion"
+	KeyBytesSent   = "bytes_sent"
+	KeyBytesRecv   = "bytes_received"
+)
+
+// MetricKey returns the metric-tree key a pattern's severities are
+// stored under.
+func (id ID) MetricKey() string {
+	switch id {
+	case LateSender:
+		return KeyLateSender
+	case GridLateSender:
+		return KeyGridLS
+	case WrongOrder:
+		return KeyWrongOrder
+	case LateReceiver:
+		return KeyLateRecv
+	case GridLateReceiver:
+		return KeyGridLR
+	case EarlyReduce:
+		return KeyEarlyReduce
+	case GridEarlyReduce:
+		return KeyGridER
+	case LateBroadcast:
+		return KeyLateBcast
+	case GridLateBroadcast:
+		return KeyGridLB
+	case WaitNxN:
+		return KeyWaitNxN
+	case GridWaitNxN:
+		return KeyGridNxN
+	case WaitBarrier:
+		return KeyWaitBarrier
+	case GridWaitBarrier:
+		return KeyGridWB
+	case BarrierCompletion:
+		return KeyBarrierComp
+	case NxNCompletion:
+		return KeyNxNComp
+	default:
+		return ""
+	}
+}
+
+// MetricTree returns the full metric hierarchy: the KOJAK time
+// hierarchy with the paper's grid specializations attached beneath
+// their base patterns, plus the Visits counter.
+func MetricTree() []MetricDef {
+	sec := func(key, name, desc string, children ...MetricDef) MetricDef {
+		return MetricDef{Key: key, Name: name, Unit: "sec", Desc: desc, Children: children}
+	}
+	return []MetricDef{
+		sec(KeyTime, "Time", "Total wall-clock time",
+			sec(KeyExecution, "Execution", "Application execution time",
+				sec(KeyMPI, "MPI", "Time spent in MPI calls",
+					sec(KeyComm, "Communication", "Time spent in MPI communication",
+						sec(KeyP2P, "Point-to-point", "Point-to-point communication time",
+							sec(KeyLateSender, "Late Sender", "Receiver blocked before the matching send started",
+								sec(KeyGridLS, "Grid Late Sender", "Late Sender across metahost boundaries"),
+								sec(KeyWrongOrder, "Messages in Wrong Order", "Late Sender caused by out-of-order message consumption"),
+							),
+							sec(KeyLateRecv, "Late Receiver", "Sender blocked in rendezvous until the receive was posted",
+								sec(KeyGridLR, "Grid Late Receiver", "Late Receiver across metahost boundaries"),
+							),
+						),
+						sec(KeyColl, "Collective", "Collective communication time",
+							sec(KeyEarlyReduce, "Early Reduce", "Root of an n-to-1 operation entered before any sender",
+								sec(KeyGridER, "Grid Early Reduce", "Early Reduce on a communicator spanning metahosts"),
+							),
+							sec(KeyLateBcast, "Late Broadcast", "Non-root of a 1-to-n operation entered before the root",
+								sec(KeyGridLB, "Grid Late Broadcast", "Late Broadcast on a communicator spanning metahosts"),
+							),
+							sec(KeyWaitNxN, "Wait at N x N", "Time in an n-to-n operation until the last participant entered",
+								sec(KeyGridNxN, "Grid Wait at N x N", "Wait at N x N on a communicator spanning metahosts"),
+							),
+							sec(KeyNxNComp, "N x N Completion", "Time in an n-to-n operation after the last participant entered"),
+						),
+					),
+					sec(KeySync, "Synchronization", "Time spent in explicit synchronization",
+						sec(KeyWaitBarrier, "Wait at Barrier", "Time in a barrier until the last participant entered",
+							sec(KeyGridWB, "Grid Wait at Barrier", "Wait at Barrier on a communicator spanning metahosts"),
+						),
+						sec(KeyBarrierComp, "Barrier Completion", "Time in a barrier after the last participant entered"),
+					),
+				),
+			),
+		),
+		{Key: KeyVisits, Name: "Visits", Unit: "occ", Desc: "Number of times a call path was visited"},
+		{Key: KeyBytesSent, Name: "Bytes Sent", Unit: "bytes", Desc: "Payload bytes sent (point-to-point and collective contributions)"},
+		{Key: KeyBytesRecv, Name: "Bytes Received", Unit: "bytes", Desc: "Payload bytes received in point-to-point operations"},
+	}
+}

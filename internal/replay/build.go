@@ -1,0 +1,249 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"metascope/internal/cube"
+	"metascope/internal/pattern"
+	"metascope/internal/trace"
+)
+
+// result finalizes the per-rank results into the analysis report:
+// the deterministic wrong-order post-pass, application of remote
+// (sender-side) contributions, and assembly of the severity cube.
+func (a *analyzer) result() (*Result, error) {
+	res := &Result{
+		Corrections:         a.corrs,
+		ReplayBytes:         make([]int64, len(a.results)),
+		ReplayExternalBytes: make([]int64, len(a.results)),
+		CommMatrix:          make(map[[2]int]CommVolume),
+		MetahostNames:       make(map[int]string),
+	}
+	for _, t := range a.traces {
+		res.MetahostNames[t.Loc.Metahost] = t.Loc.MetahostName
+	}
+	for i, rr := range a.results {
+		if rr.err != nil {
+			return nil, rr.err
+		}
+		res.Violations += rr.violations
+		res.Repairs += rr.repairs
+		res.Messages += rr.messages
+		res.Collectives += rr.colls
+		res.ReplayBytes[i] = rr.replayBytes
+		res.ReplayExternalBytes[i] = rr.replayExternal
+		for k, v := range rr.commMatrix {
+			cell := res.CommMatrix[k]
+			cell.Messages += v.Messages
+			cell.Bytes += v.Bytes
+			res.CommMatrix[k] = cell
+		}
+	}
+
+	// Wrong-order post-pass: a Late Sender instance is reclassified as
+	// Messages in Wrong Order if the receiver later consumes a message
+	// that was sent earlier than the matched one and before the receive
+	// was posted — receiving in send order would have shortened the
+	// wait. A suffix-minimum over the per-receiver log decides this in
+	// linear time and independently of goroutine scheduling.
+	for _, rr := range a.results {
+		myMH := a.traces[rr.rank].Loc.Metahost
+		n := len(rr.recvLog)
+		minFuture := make([]float64, n+1)
+		minFuture[n] = math.Inf(1)
+		for i := n - 1; i >= 0; i-- {
+			minFuture[i] = math.Min(minFuture[i+1], rr.recvLog[i].sendEvent)
+		}
+		for i, ri := range rr.recvLog {
+			if ri.lsWait <= 0 {
+				continue
+			}
+			pat := pattern.LateSender
+			switch {
+			case ri.grid:
+				pat = pattern.GridLateSender
+				rr.acc[ri.cp].addPair(pat, myMH, ri.srcMH, ri.lsWait)
+			case pattern.WrongOrderCandidate(ri.lsWait, ri.sendEvent, minFuture[i+1], ri.recvEnter):
+				pat = pattern.WrongOrder
+			}
+			rr.acc[ri.cp].waits[pat] += ri.lsWait
+		}
+	}
+
+	// Sender-side severities detected remotely (Late Receiver).
+	for _, rc := range a.remote {
+		acc := &a.results[rc.rank].acc[rc.cp]
+		acc.waits[rc.pat] += rc.val
+		if rc.isGrid {
+			acc.addPair(rc.pat, rc.mhA, rc.mhB, rc.val)
+		}
+	}
+
+	res.Report = a.buildReport()
+	if err := res.Report.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// metricSlot caches the report indices of all metrics.
+type metricSlot struct {
+	time, execution, mpi, comm, p2p, coll, sync, visits int
+	bytesSent, bytesRecv                                int
+	pat                                                 [pattern.NumPatterns]int
+}
+
+func slots(r *cube.Report) metricSlot {
+	var s metricSlot
+	s.time = r.MetricIndex(pattern.KeyTime)
+	s.execution = r.MetricIndex(pattern.KeyExecution)
+	s.mpi = r.MetricIndex(pattern.KeyMPI)
+	s.comm = r.MetricIndex(pattern.KeyComm)
+	s.p2p = r.MetricIndex(pattern.KeyP2P)
+	s.coll = r.MetricIndex(pattern.KeyColl)
+	s.sync = r.MetricIndex(pattern.KeySync)
+	s.visits = r.MetricIndex(pattern.KeyVisits)
+	s.bytesSent = r.MetricIndex(pattern.KeyBytesSent)
+	s.bytesRecv = r.MetricIndex(pattern.KeyBytesRecv)
+	for p := pattern.ID(0); p < pattern.NumPatterns; p++ {
+		s.pat[p] = r.MetricIndex(p.MetricKey())
+	}
+	return s
+}
+
+// buildReport assembles the cube: metric dimension from the pattern
+// catalogue, call dimension from the union of the per-rank call-path
+// trees, system dimension from the trace locations.
+//
+// Severities are stored exclusively along the metric tree:
+//
+//	Execution: exclusive time of user call paths,
+//	MPI:       exclusive time of MPI_Init-class calls,
+//	P2P/Collective/Synchronization: call time minus the wait states
+//	           detected inside it,
+//	patterns:  the wait states themselves (plain, grid, and wrong-order
+//	           variants disjoint by construction).
+//
+// Inclusive aggregation along the metric tree then yields exactly the
+// totals shown in the paper's displays: "Time" is total execution
+// time, "MPI" the full MPI time, "Late Sender" all late-sender waiting
+// including grid and wrong-order instances.
+func (a *analyzer) buildReport() *cube.Report {
+	locs := make([]cube.Loc, len(a.traces))
+	for r, t := range a.traces {
+		locs[r] = cube.Loc{
+			Rank:         t.Loc.Rank,
+			Metahost:     t.Loc.Metahost,
+			MetahostName: t.Loc.MetahostName,
+			Node:         t.Loc.Node,
+		}
+	}
+	rep := cube.New(a.cfg.Title, cube.FromMetricDefs(pattern.MetricTree()), locs)
+	ms := slots(rep)
+
+	// Per-metahost-pair specializations of the grid metrics (§6 future
+	// work): one child metric per pair that actually occurred, created
+	// lazily in deterministic (pattern, pair) order.
+	mhName := make(map[int]string)
+	for _, t := range a.traces {
+		mhName[t.Loc.Metahost] = t.Loc.MetahostName
+	}
+	pairSet := make(map[pairKey]bool)
+	for _, rr := range a.results {
+		for _, acc := range rr.acc {
+			for pk := range acc.pairs {
+				pairSet[pk] = true
+			}
+		}
+	}
+	pairKeys := make([]pairKey, 0, len(pairSet))
+	for pk := range pairSet {
+		pairKeys = append(pairKeys, pk)
+	}
+	sort.Slice(pairKeys, func(i, j int) bool {
+		if pairKeys[i].pat != pairKeys[j].pat {
+			return pairKeys[i].pat < pairKeys[j].pat
+		}
+		if pairKeys[i].a != pairKeys[j].a {
+			return pairKeys[i].a < pairKeys[j].a
+		}
+		return pairKeys[i].b < pairKeys[j].b
+	})
+	pairMetric := make(map[pairKey]int, len(pairKeys))
+	for _, pk := range pairKeys {
+		parent := rep.MetricIndex(pk.pat.MetricKey())
+		nameA, nameB := mhName[pk.a], mhName[pk.b]
+		pairMetric[pk] = rep.AddMetric(cube.Metric{
+			Key:    fmt.Sprintf("%s.pair.%d-%d", pk.pat.MetricKey(), pk.a, pk.b),
+			Name:   fmt.Sprintf("%s: %s <-> %s", pk.pat, nameA, nameB),
+			Unit:   "sec",
+			Desc:   fmt.Sprintf("%s instances between metahosts %s and %s", pk.pat, nameA, nameB),
+			Parent: parent,
+		})
+	}
+
+	for rank, rr := range a.results {
+		// Map rank-local call-path ids to report call nodes. Parents
+		// precede children in rr.paths by construction.
+		cpMap := make([]int, len(rr.paths))
+		for i, cp := range rr.paths {
+			parent := -1
+			if cp.parent >= 0 {
+				parent = cpMap[cp.parent]
+			}
+			cpMap[i] = rep.Child(parent, cp.name)
+		}
+		for i, acc := range rr.acc {
+			c := cpMap[i]
+			rep.Add(ms.visits, c, rank, acc.visits)
+			if acc.bytesSent > 0 {
+				rep.Add(ms.bytesSent, c, rank, acc.bytesSent)
+			}
+			if acc.bytesRecv > 0 {
+				rep.Add(ms.bytesRecv, c, rank, acc.bytesRecv)
+			}
+			// Pair-classified shares move into the per-pair child
+			// metrics; the grid metric keeps any unclassified rest so
+			// inclusive totals are preserved exactly.
+			pairByPat := make(map[pattern.ID]float64, len(acc.pairs))
+			for pk, v := range acc.pairs {
+				pairByPat[pk.pat] += v
+				rep.Add(pairMetric[pk], c, rank, v)
+			}
+			waitSum := 0.0
+			for p := pattern.ID(0); p < pattern.NumPatterns; p++ {
+				if acc.waits[p] > 0 {
+					excl := acc.waits[p] - pairByPat[p]
+					if excl < 0 {
+						excl = 0
+					}
+					if excl > 0 {
+						rep.Add(ms.pat[p], c, rank, excl)
+					}
+					waitSum += acc.waits[p]
+				}
+			}
+			rest := acc.excl - waitSum
+			if rest < 0 {
+				rest = 0
+			}
+			switch rr.paths[i].kind {
+			case trace.RegionUser:
+				rep.Add(ms.execution, c, rank, acc.excl)
+			case trace.RegionMPIP2P:
+				rep.Add(ms.p2p, c, rank, rest)
+			case trace.RegionMPIColl:
+				if rr.paths[i].name == "MPI_Barrier" {
+					rep.Add(ms.sync, c, rank, rest)
+				} else {
+					rep.Add(ms.coll, c, rank, rest)
+				}
+			default: // RegionMPIOther
+				rep.Add(ms.mpi, c, rank, rest)
+			}
+		}
+	}
+	return rep
+}

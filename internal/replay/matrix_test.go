@@ -1,0 +1,92 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"metascope/internal/trace"
+)
+
+func TestCommMatrixAggregation(t *testing.T) {
+	def := trace.CommDef{ID: 0, Ranks: []int32{0, 1, 2}}
+	// Rank 0 (A) sends twice to rank 2 (B); rank 1 (A) sends once to
+	// rank 0 (A). Matrix: A→B = 2 msgs/300 B, A→A = 1 msg/50 B.
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(1, 1), send(1, 2, 1, 100), exit(1.1, 1),
+		enter(2, 1), send(2, 2, 2, 200), exit(2.1, 1),
+		enter(3, 2), recv(3.5, 1, 3, 50), exit(3.5, 2),
+		exit(10, 0),
+	}, def)
+	t1 := synth(1, 0, []trace.Event{
+		enter(0, 0),
+		enter(0.5, 1), send(0.5, 0, 3, 50), exit(0.6, 1),
+		exit(10, 0),
+	}, def)
+	t2 := synth(2, 1, []trace.Event{
+		enter(0, 0),
+		enter(0.5, 2), recv(1.5, 0, 1, 100), exit(1.5, 2),
+		enter(2, 2), recv(2.5, 0, 2, 200), exit(2.5, 2),
+		exit(10, 0),
+	}, def)
+	res := analyze(t, []*trace.Trace{t0, t1, t2})
+
+	ab := res.CommMatrix[[2]int{0, 1}]
+	if ab.Messages != 2 || ab.Bytes != 300 {
+		t.Errorf("A->B = %+v, want 2/300", ab)
+	}
+	aa := res.CommMatrix[[2]int{0, 0}]
+	if aa.Messages != 1 || aa.Bytes != 50 {
+		t.Errorf("A->A = %+v, want 1/50", aa)
+	}
+	if ba := res.CommMatrix[[2]int{1, 0}]; ba.Messages != 0 {
+		t.Errorf("B->A = %+v, want empty", ba)
+	}
+	if res.MetahostNames[0] != "A" || res.MetahostNames[1] != "B" {
+		t.Errorf("metahost names %v", res.MetahostNames)
+	}
+	out := res.FormatCommMatrix()
+	for _, want := range []string{"src \\ dst", "A", "B", "2/"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplayTrafficAccounting(t *testing.T) {
+	// One intra-metahost and one inter-metahost message: only the
+	// latter counts as external replay traffic.
+	def := trace.CommDef{ID: 0, Ranks: []int32{0, 1, 2}}
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(1, 1), send(1, 1, 1, 10), exit(1.1, 1),
+		enter(2, 1), send(2, 2, 2, 10), exit(2.1, 1),
+		exit(10, 0),
+	}, def)
+	t1 := synth(1, 0, []trace.Event{
+		enter(0, 0),
+		enter(1, 2), recv(1.5, 0, 1, 10), exit(1.5, 2),
+		exit(10, 0),
+	}, def)
+	t2 := synth(2, 1, []trace.Event{
+		enter(0, 0),
+		enter(2, 2), recv(2.5, 0, 2, 10), exit(2.5, 2),
+		exit(10, 0),
+	}, def)
+	res := analyze(t, []*trace.Trace{t0, t1, t2})
+	if got := res.ReplayBytes[0]; got != 2*sendRecordWire {
+		t.Errorf("rank 0 replay bytes = %d, want %d", got, 2*sendRecordWire)
+	}
+	if got := res.ReplayExternalBytes[0]; got != sendRecordWire {
+		t.Errorf("rank 0 external replay bytes = %d, want %d", got, sendRecordWire)
+	}
+	sizes, err := TraceSizes([]*trace.Trace{t0, t1, t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			t.Errorf("trace %d size %d", i, s)
+		}
+	}
+}

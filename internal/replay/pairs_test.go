@@ -1,0 +1,117 @@
+package replay
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"metascope/internal/pattern"
+	"metascope/internal/trace"
+)
+
+// The fine-grained grid classification of §6 (future work realized):
+// grid pattern severities split into per-metahost-pair child metrics.
+
+func TestGridPairClassificationP2P(t *testing.T) {
+	// Three metahosts A(0), B(1), C(2). Rank 2 (on C) receives one late
+	// message from A (wait 3) and one from B (wait 2).
+	def := trace.CommDef{ID: 0, Ranks: []int32{0, 1, 2}}
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(4, 1), send(4, 2, 1, 10), exit(4.2, 1),
+		exit(20, 0),
+	}, def)
+	t1 := synth(1, 1, []trace.Event{
+		enter(0, 0),
+		enter(9, 1), send(9, 2, 2, 10), exit(9.2, 1),
+		exit(20, 0),
+	}, def)
+	t2 := synth(2, 2, []trace.Event{
+		enter(0, 0),
+		enter(1, 2), recv(4.5, 0, 1, 10), exit(4.5, 2),
+		enter(7, 2), recv(9.5, 1, 2, 10), exit(9.5, 2),
+		exit(20, 0),
+	}, def)
+	res := analyze(t, []*trace.Trace{t0, t1, t2})
+	rep := res.Report
+
+	// Total grid LS = 3 + 2 = 5.
+	gls := rep.MetricIndex(pattern.KeyGridLS)
+	if got := rep.MetricTotal(gls); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("grid LS total = %g, want 5", got)
+	}
+	// Pair children exist and split the total: A↔C = 3, B↔C = 2.
+	ac := rep.MetricIndex(pattern.KeyGridLS + ".pair.0-2")
+	bc := rep.MetricIndex(pattern.KeyGridLS + ".pair.1-2")
+	if ac < 0 || bc < 0 {
+		t.Fatalf("pair metrics missing; metrics: %v", rep.SortedMetricKeys())
+	}
+	if got := rep.MetricTotal(ac); math.Abs(got-3) > 1e-9 {
+		t.Errorf("A<->C = %g, want 3", got)
+	}
+	if got := rep.MetricTotal(bc); math.Abs(got-2) > 1e-9 {
+		t.Errorf("B<->C = %g, want 2", got)
+	}
+	// Pair metrics are children of the grid metric.
+	if rep.Metrics[ac].Parent != gls {
+		t.Errorf("pair metric not a child of Grid Late Sender")
+	}
+	// Display names carry the metahost names.
+	if !strings.Contains(rep.Metrics[ac].Name, "A") || !strings.Contains(rep.Metrics[ac].Name, "C") {
+		t.Errorf("pair metric name %q", rep.Metrics[ac].Name)
+	}
+	// The report remains structurally valid and serializable.
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridPairClassificationBarrier(t *testing.T) {
+	// Barrier across A and B: the A process waits for the late B
+	// process → pair A↔B under Grid Wait at Barrier.
+	def := trace.CommDef{ID: 0, Ranks: []int32{0, 1}}
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(2, 3), collExit(6.5, trace.CollBarrier, -1), exit(6.5, 3),
+		exit(10, 0),
+	}, def)
+	t1 := synth(1, 1, []trace.Event{
+		enter(0, 0),
+		enter(6, 3), collExit(6.5, trace.CollBarrier, -1), exit(6.5, 3),
+		exit(10, 0),
+	}, def)
+	res := analyze(t, []*trace.Trace{t0, t1})
+	rep := res.Report
+	pairIdx := rep.MetricIndex(pattern.KeyGridWB + ".pair.0-1")
+	if pairIdx < 0 {
+		t.Fatalf("barrier pair metric missing")
+	}
+	if got := rep.MetricTotal(pairIdx); math.Abs(got-4) > 1e-9 {
+		t.Errorf("A<->B barrier pair = %g, want 4", got)
+	}
+	// Inclusive grid WB unchanged by the classification.
+	gwb := rep.MetricIndex(pattern.KeyGridWB)
+	if got := rep.MetricTotal(gwb); math.Abs(got-4) > 1e-9 {
+		t.Errorf("grid WB inclusive = %g, want 4", got)
+	}
+}
+
+func TestNoPairMetricsWithoutGridInstances(t *testing.T) {
+	// Single metahost: no grid instances, no pair metrics.
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(4, 1), send(4, 1, 7, 100), exit(4.5, 1),
+		exit(10, 0),
+	})
+	t1 := synth(1, 0, []trace.Event{
+		enter(0, 0),
+		enter(1, 2), recv(5, 0, 7, 100), exit(5, 2),
+		exit(10, 0),
+	})
+	res := analyze(t, []*trace.Trace{t0, t1})
+	for _, m := range res.Report.Metrics {
+		if strings.Contains(m.Key, ".pair.") {
+			t.Fatalf("pair metric %q on a single-metahost run", m.Key)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package replay
+
+import (
+	"math"
+	"testing"
+
+	"metascope/internal/pattern"
+	"metascope/internal/trace"
+	"metascope/internal/vclock"
+)
+
+// Timestamp repair (simplified controlled logical clock): violated
+// receives are shifted just past their sends, and the shift carries
+// forward through the process's remaining events.
+
+func TestRepairRestoresClockCondition(t *testing.T) {
+	// Send at 4 but receive recorded at 3.5 (bad clocks): a violation.
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(4, 1), send(4, 1, 7, 100), exit(4.5, 1),
+		exit(10, 0),
+	})
+	t1 := synth(1, 0, []trace.Event{
+		enter(0, 0),
+		enter(3, 2), recv(3.5, 0, 7, 100), exit(3.6, 2),
+		exit(10, 0),
+	})
+	res, err := Analyze([]*trace.Trace{t0, t1}, Config{Scheme: vclock.FlatSingle, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 1 || res.Repairs != 1 {
+		t.Fatalf("violations/repairs = %d/%d, want 1/1", res.Violations, res.Repairs)
+	}
+	// After repair the receive sits just past the send, so the Late
+	// Sender wait is send−recvEnter = 1 (clamped by the stretched
+	// receive duration).
+	ls := sev(t, res.Report, pattern.KeyLateSender, []string{"main", "MPI_Recv"}, 1)
+	if math.Abs(ls-1) > 1e-6 {
+		t.Errorf("repaired LS = %g, want 1", ls)
+	}
+}
+
+func TestRepairShiftCarriesForward(t *testing.T) {
+	// Two messages 0→1. The first receive violates by 2; the second is
+	// recorded 3 later than the first on both sides, so after the
+	// shift it stays consistent and needs NO second repair.
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(4, 1), send(4, 1, 7, 10), exit(4.1, 1),
+		enter(7, 1), send(7, 1, 7, 10), exit(7.1, 1),
+		exit(10, 0),
+	})
+	t1 := synth(1, 0, []trace.Event{
+		enter(0, 0),
+		enter(1.5, 2), recv(2, 0, 7, 10), exit(2.1, 2),
+		enter(4.5, 2), recv(5, 0, 7, 10), exit(5.1, 2),
+		exit(10, 0),
+	})
+	res, err := Analyze([]*trace.Trace{t0, t1}, Config{Scheme: vclock.FlatSingle, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repairs != 1 {
+		t.Fatalf("repairs = %d, want 1 (shift must amortize the second message)", res.Repairs)
+	}
+	// Without repair both receives violate.
+	res2, err := Analyze([]*trace.Trace{t0, t1}, Config{Scheme: vclock.FlatSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Violations != 2 || res2.Repairs != 0 {
+		t.Fatalf("unrepaired violations/repairs = %d/%d, want 2/0", res2.Violations, res2.Repairs)
+	}
+}
+
+func TestRepairOffByDefault(t *testing.T) {
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(4, 1), send(4, 1, 7, 100), exit(4.5, 1),
+		exit(10, 0),
+	})
+	t1 := synth(1, 0, []trace.Event{
+		enter(0, 0),
+		enter(3, 2), recv(3.5, 0, 7, 100), exit(3.5, 2),
+		exit(10, 0),
+	})
+	res := analyze(t, []*trace.Trace{t0, t1})
+	if res.Repairs != 0 {
+		t.Fatalf("repairs happened without Repair flag")
+	}
+}
+
+func TestBytesMetrics(t *testing.T) {
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(1, 1), send(1, 1, 7, 1000), exit(1.5, 1),
+		enter(2, 1), send(2, 1, 8, 500), exit(2.5, 1),
+		exit(10, 0),
+	})
+	t1 := synth(1, 0, []trace.Event{
+		enter(0, 0),
+		enter(1, 2), recv(2, 0, 7, 1000), exit(2, 2),
+		enter(3, 2), recv(3.5, 0, 8, 500), exit(3.5, 2),
+		exit(10, 0),
+	})
+	res := analyze(t, []*trace.Trace{t0, t1})
+	sent := sev(t, res.Report, pattern.KeyBytesSent, []string{"main", "MPI_Send"}, 0)
+	if sent != 1500 {
+		t.Errorf("bytes sent = %g, want 1500", sent)
+	}
+	recvd := sev(t, res.Report, pattern.KeyBytesRecv, []string{"main", "MPI_Recv"}, 1)
+	if recvd != 1500 {
+		t.Errorf("bytes received = %g, want 1500", recvd)
+	}
+	// Neither metric leaks onto the wrong side.
+	if v := sev(t, res.Report, pattern.KeyBytesRecv, []string{"main", "MPI_Send"}, 0); v != 0 {
+		t.Errorf("sender shows received bytes %g", v)
+	}
+}
+
+func TestNxNCompletionMetric(t *testing.T) {
+	// Allreduce: last entrant at 6, both leave at 7 → each spends 1 in
+	// completion; the early one additionally waits 5 (Wait at NxN).
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(1, 4), collExit(7, trace.CollAllreduce, -1), exit(7, 4),
+		exit(10, 0),
+	})
+	t1 := synth(1, 0, []trace.Event{
+		enter(0, 0),
+		enter(6, 4), collExit(7, trace.CollAllreduce, -1), exit(7, 4),
+		exit(10, 0),
+	})
+	res := analyze(t, []*trace.Trace{t0, t1})
+	for rank := 0; rank < 2; rank++ {
+		comp := sev(t, res.Report, pattern.KeyNxNComp, []string{"main", "MPI_Allreduce"}, rank)
+		if math.Abs(comp-1) > 1e-9 {
+			t.Errorf("rank %d NxN completion = %g, want 1", rank, comp)
+		}
+	}
+}

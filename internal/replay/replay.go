@@ -1,0 +1,314 @@
+// Package replay implements SCALASCA-style parallel trace analysis for
+// metacomputing experiments (§3 "Trace analysis", §4 "Parallel trace
+// analysis").
+//
+// Instead of merging local trace files into one global file — which
+// would copy large amounts of trace data across (possibly wide-area)
+// networks and requires a shared file system — the analyzer assigns
+// one analysis process per application process. Each analysis process
+// reads only its local trace and re-enacts the application's
+// communication: for every recorded message the sender's analysis
+// process forwards a small record of its send events to the receiver's
+// analysis process, which combines it with its own receive events to
+// detect wait states; collective operations exchange their enter/exit
+// times among the members of the recorded communicator. The data
+// transferred per process is a small constant per event, far less than
+// the trace itself.
+//
+// The analyzer also verifies the clock condition — a receive must not
+// appear to happen before its matching send — under the selected
+// time-stamp synchronization scheme, reproducing the measurement of
+// Table 2.
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"metascope/internal/archive"
+	"metascope/internal/cube"
+	"metascope/internal/trace"
+	"metascope/internal/vclock"
+)
+
+// Config selects how an archive is analyzed.
+type Config struct {
+	// Scheme is the time-stamp synchronization scheme applied before
+	// pattern search (Table 2 compares all three).
+	Scheme vclock.Scheme
+	// EagerLimit must match the measured run's message-passing layer;
+	// messages above it used a rendezvous protocol and are eligible
+	// for Late Receiver waits. Zero selects the mmpi default (64 KiB).
+	EagerLimit int
+	// Title labels the resulting report.
+	Title string
+	// Repair enables forward timestamp repair (a simplified controlled
+	// logical clock, the standard remedy when residual clock-condition
+	// violations survive synchronization): whenever a receive would
+	// precede its matching send, the receiving process's clock is
+	// advanced just past the send time and the shift is carried
+	// forward through all its later events, restoring the happened-
+	// before order at the cost of locally stretched intervals.
+	// Violations are still counted (they equal the number of repairs).
+	Repair bool
+	// RepairMu is the minimal message latency enforced by a repair
+	// (the µ of the controlled logical clock). Zero selects 1 ns.
+	RepairMu float64
+}
+
+// Result is the outcome of one analysis.
+type Result struct {
+	Report *cube.Report
+	// Violations is the number of clock-condition violations — matched
+	// message pairs whose corrected receive time precedes the
+	// corrected send time.
+	Violations int
+	// Messages and Collectives count the replayed operations.
+	Messages    int
+	Collectives int
+	// Repairs is the number of timestamp repairs applied (0 unless
+	// Config.Repair was set).
+	Repairs int
+	// ReplayBytes estimates the analysis-time communication volume per
+	// rank: the event records forwarded to other analysis processes
+	// plus collective-gather contributions. §4 argues this is far
+	// smaller than shipping the trace files themselves; compare with
+	// TraceSizes.
+	ReplayBytes []int64
+	// ReplayExternalBytes is the subset of ReplayBytes that crosses
+	// metahost boundaries — the expensive wide-area traffic. Merging-
+	// based analysis would instead move entire trace files between
+	// metahosts (TraceSizes of every rank outside the analysis site).
+	ReplayExternalBytes []int64
+	// CommMatrix aggregates the application's point-to-point traffic
+	// by (source metahost, destination metahost): the internal-versus-
+	// external communication split §4's multi-device discussion is
+	// about. Keys are metahost id pairs; MetahostNames resolves them.
+	CommMatrix map[[2]int]CommVolume
+	// MetahostNames maps metahost ids to their human-readable names.
+	MetahostNames map[int]string
+	// Corrections holds the per-rank time correction maps that were
+	// applied (local time → master time).
+	Corrections []vclock.Correction
+}
+
+// LoadArchive reads every local trace file of an experiment from the
+// per-metahost file systems. Each file system is visited once even if
+// several metahosts share it. The result is indexed by rank and
+// complete: a missing or duplicate rank is an error.
+func LoadArchive(mounts *archive.Mounts, metahosts []int, dir string) ([]*trace.Trace, error) {
+	seen := make(map[archive.FS]bool)
+	byRank := make(map[int]*trace.Trace)
+	for _, mh := range metahosts {
+		fs := mounts.For(mh)
+		if seen[fs] {
+			continue
+		}
+		seen[fs] = true
+		names, err := fs.List(dir)
+		if err != nil {
+			return nil, fmt.Errorf("replay: listing archive %q: %w", dir, err)
+		}
+		for _, name := range names {
+			rank, ok := traceRank(name)
+			if !ok {
+				continue
+			}
+			f, err := fs.Open(dir + "/" + name)
+			if err != nil {
+				return nil, fmt.Errorf("replay: opening %s: %w", name, err)
+			}
+			t, err := trace.Decode(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("replay: decoding %s: %w", name, err)
+			}
+			if t.Loc.Rank != rank {
+				return nil, fmt.Errorf("replay: %s contains trace of rank %d", name, t.Loc.Rank)
+			}
+			if _, dup := byRank[rank]; dup {
+				return nil, fmt.Errorf("replay: duplicate trace for rank %d", rank)
+			}
+			byRank[rank] = t
+		}
+	}
+	if len(byRank) == 0 {
+		return nil, fmt.Errorf("replay: archive %q contains no trace files", dir)
+	}
+	out := make([]*trace.Trace, len(byRank))
+	for rank, t := range byRank {
+		if rank < 0 || rank >= len(out) {
+			return nil, fmt.Errorf("replay: rank %d outside dense range 0..%d", rank, len(byRank)-1)
+		}
+		out[rank] = t
+	}
+	for rank, t := range out {
+		if t == nil {
+			return nil, fmt.Errorf("replay: missing trace for rank %d", rank)
+		}
+	}
+	return out, nil
+}
+
+// traceRank parses "trace.<rank>.mscp" names.
+func traceRank(name string) (int, bool) {
+	if !strings.HasPrefix(name, "trace.") || !strings.HasSuffix(name, ".mscp") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "trace."), ".mscp")
+	r, err := strconv.Atoi(mid)
+	if err != nil || r < 0 {
+		return 0, false
+	}
+	return r, true
+}
+
+// BuildCorrections derives the per-rank time correction maps for a
+// scheme from the measurements stored in the traces.
+func BuildCorrections(traces []*trace.Trace, scheme vclock.Scheme) ([]vclock.Correction, error) {
+	switch scheme {
+	case vclock.FlatSingle, vclock.FlatInterp:
+		start := make([]vclock.Measurement, len(traces))
+		end := make([]vclock.Measurement, len(traces))
+		for r, t := range traces {
+			start[r] = t.Sync.FlatStart
+			end[r] = t.Sync.FlatEnd
+		}
+		return vclock.BuildFlat(scheme, start, end)
+	case vclock.Hierarchical:
+		inputs := make([]vclock.HierarchicalInput, len(traces))
+		for r, t := range traces {
+			inputs[r] = vclock.HierarchicalInput{
+				Rank:            r,
+				SlaveStart:      t.Sync.LocalStart,
+				SlaveEnd:        t.Sync.LocalEnd,
+				MasterStart:     t.Sync.MasterStart,
+				MasterEnd:       t.Sync.MasterEnd,
+				SharedNodeClock: t.Sync.SharedNodeClock,
+			}
+		}
+		return vclock.BuildHierarchical(inputs), nil
+	default:
+		return nil, fmt.Errorf("replay: unknown synchronization scheme %v", scheme)
+	}
+}
+
+// mergeComms combines the communicator definitions of all traces,
+// verifying consistency across ranks.
+func mergeComms(traces []*trace.Trace) (map[int32][]int32, error) {
+	out := make(map[int32][]int32)
+	for _, t := range traces {
+		for _, cd := range t.Comms {
+			if have, ok := out[cd.ID]; ok {
+				if len(have) != len(cd.Ranks) {
+					return nil, fmt.Errorf("replay: communicator %d has inconsistent sizes across traces", cd.ID)
+				}
+				for i := range have {
+					if have[i] != cd.Ranks[i] {
+						return nil, fmt.Errorf("replay: communicator %d has inconsistent membership across traces", cd.ID)
+					}
+				}
+				continue
+			}
+			out[cd.ID] = cd.Ranks
+		}
+	}
+	return out, nil
+}
+
+// Analyze runs the parallel replay over a complete set of local traces
+// and produces the analysis report.
+func Analyze(traces []*trace.Trace, cfg Config) (*Result, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("replay: no traces")
+	}
+	for _, t := range traces {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.EagerLimit <= 0 {
+		cfg.EagerLimit = 64 << 10
+	}
+	if cfg.Title == "" {
+		cfg.Title = fmt.Sprintf("experiment (%d processes, %v)", len(traces), cfg.Scheme)
+	}
+	corr, err := BuildCorrections(traces, cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	comms, err := mergeComms(traces)
+	if err != nil {
+		return nil, err
+	}
+	a := newAnalyzer(traces, corr, comms, cfg)
+	a.run()
+	return a.result()
+}
+
+// AnalyzeArchive is the end-to-end convenience path: load the archive
+// from the mounts and analyze it.
+func AnalyzeArchive(mounts *archive.Mounts, metahosts []int, dir string, cfg Config) (*Result, error) {
+	traces, err := LoadArchive(mounts, metahosts, dir)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(traces, cfg)
+}
+
+// CommVolume is one cell of the metahost communication matrix.
+type CommVolume struct {
+	Messages int
+	Bytes    int64
+}
+
+// FormatCommMatrix renders the metahost communication matrix of a
+// result as a table (rows: source metahost, columns: destination).
+func (r *Result) FormatCommMatrix() string {
+	ids := make([]int, 0, len(r.MetahostNames))
+	for id := range r.MetahostNames {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	b.WriteString("Point-to-point communication by metahost pair (messages / MiB):\n")
+	fmt.Fprintf(&b, "  %-12s", "src \\ dst")
+	for _, d := range ids {
+		fmt.Fprintf(&b, " %16s", r.MetahostNames[d])
+	}
+	b.WriteString("\n")
+	for _, s := range ids {
+		fmt.Fprintf(&b, "  %-12s", r.MetahostNames[s])
+		for _, d := range ids {
+			v := r.CommMatrix[[2]int{s, d}]
+			fmt.Fprintf(&b, " %7d/%8.2f", v.Messages, float64(v.Bytes)/(1<<20))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TraceSizes returns every trace's encoded size in bytes — what
+// merging-based analysis would have to copy between metahosts. The
+// comparison with Result.ReplayBytes quantifies §4's argument for
+// replay-based parallel analysis.
+func TraceSizes(traces []*trace.Trace) ([]int64, error) {
+	out := make([]int64, len(traces))
+	for i, t := range traces {
+		var cw countingWriter
+		if err := t.Encode(&cw); err != nil {
+			return nil, err
+		}
+		out[i] = cw.n
+	}
+	return out, nil
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

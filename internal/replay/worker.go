@@ -1,0 +1,548 @@
+package replay
+
+import (
+	"fmt"
+	"sync"
+
+	"metascope/internal/pattern"
+	"metascope/internal/trace"
+	"metascope/internal/vclock"
+)
+
+// sendRecord is the per-message datum a sender's analysis process
+// forwards to the receiver's analysis process during replay — a few
+// dozen bytes, independent of the message's payload size.
+type sendRecord struct {
+	comm        int32
+	srcWorld    int32
+	tag         int32
+	bytes       int64
+	srcMetahost int
+	sendEvent   float64 // corrected Send event time
+	sendEnter   float64 // corrected enter of the enclosing MPI call
+	sendExit    float64 // corrected exit of the enclosing MPI call
+	srcCP       int     // sender-local call-path id of the MPI call
+}
+
+// mailbox is the unbounded, order-preserving channel between one pair
+// of analysis processes... in fact one per *receiver*, since matching
+// needs to scan across sources. put never blocks (the original
+// application's standard-mode sends were buffered), so replay cannot
+// deadlock if the traced application completed.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []sendRecord
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(r sendRecord) {
+	mb.mu.Lock()
+	mb.msgs = append(mb.msgs, r)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a record with the exact signature (comm, source
+// world rank, tag) is available and removes the first such record.
+// Records from one sender arrive in that sender's event order, so the
+// n-th take of a signature yields the n-th send — the same pairing the
+// message-passing layer produced, because its transport is FIFO per
+// process pair.
+func (mb *mailbox) take(comm, srcWorld, tag int32) sendRecord {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i := range mb.msgs {
+			m := mb.msgs[i]
+			if m.comm == comm && m.srcWorld == srcWorld && m.tag == tag {
+				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// collGather coordinates the members of one collective instance: every
+// participant deposits its corrected enter/exit and blocks until the
+// last one arrives, after which each computes its own wait states from
+// the complete vectors.
+type collGather struct {
+	enters  []float64
+	exits   []float64
+	mhs     []int
+	arrived int
+	done    chan struct{}
+}
+
+type collKey struct {
+	comm int32
+	seq  int
+}
+
+// remoteContribution attributes a severity detected on one analysis
+// process to a call path of another process (Late Receiver is detected
+// by the receiver but suffered by the sender).
+type remoteContribution struct {
+	rank   int
+	cp     int
+	pat    pattern.ID
+	val    float64
+	mhA    int // metahost pair for grid instances
+	mhB    int
+	isGrid bool
+}
+
+// pairKey identifies a grid-pattern instance's metahost combination
+// (canonically ordered), realizing the fine-grained classification §6
+// names as desirable future work.
+type pairKey struct {
+	pat  pattern.ID
+	a, b int
+}
+
+func makePairKey(pat pattern.ID, a, b int) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{pat: pat, a: a, b: b}
+}
+
+// cpAcc accumulates raw severities for one call path of one rank.
+type cpAcc struct {
+	excl      float64
+	visits    float64
+	bytesSent float64
+	bytesRecv float64
+	waits     [pattern.NumPatterns]float64
+	pairs     map[pairKey]float64 // grid waits by metahost pair
+}
+
+func (acc *cpAcc) addPair(pat pattern.ID, a, b int, v float64) {
+	if acc.pairs == nil {
+		acc.pairs = make(map[pairKey]float64, 2)
+	}
+	acc.pairs[makePairKey(pat, a, b)] += v
+}
+
+// cpInfo is one node of a rank-local call-path tree.
+type cpInfo struct {
+	parent int
+	region trace.RegionID
+	name   string
+	kind   trace.RegionKind
+}
+
+type cpKey struct {
+	parent int
+	region trace.RegionID
+}
+
+// recvInfo is kept per receive for the deterministic wrong-order
+// post-pass and the clock-condition count.
+type recvInfo struct {
+	cp        int
+	sendEvent float64
+	recvEnter float64
+	lsWait    float64
+	grid      bool
+	srcMH     int // sender's metahost, for the pair classification
+}
+
+// rankResult is everything one analysis process produces.
+// Wire-size estimates for the analyzer's own communication: a
+// forwarded send record and one collective-gather contribution. Used
+// to quantify §4's replay-traffic argument.
+const (
+	sendRecordWire = 64
+	collGatherWire = 24
+)
+
+type rankResult struct {
+	rank           int
+	paths          []cpInfo
+	byKey          map[cpKey]int
+	acc            []cpAcc
+	recvLog        []recvInfo
+	violations     int
+	repairs        int
+	messages       int
+	colls          int
+	replayBytes    int64
+	replayExternal int64
+	commMatrix     map[[2]int]CommVolume // outgoing traffic by (myMH, dstMH)
+	err            error
+}
+
+func (rr *rankResult) cpID(parent int, region trace.RegionID, name string, kind trace.RegionKind) int {
+	k := cpKey{parent, region}
+	if id, ok := rr.byKey[k]; ok {
+		return id
+	}
+	id := len(rr.paths)
+	rr.byKey[k] = id
+	rr.paths = append(rr.paths, cpInfo{parent: parent, region: region, name: name, kind: kind})
+	rr.acc = append(rr.acc, cpAcc{})
+	return id
+}
+
+// analyzer owns one parallel analysis run.
+type analyzer struct {
+	traces []*trace.Trace
+	corr   []vclock.LinearMap
+	comms  map[int32][]int32
+	cfg    Config
+
+	mailboxes []*mailbox
+	collMu    sync.Mutex
+	colls     map[collKey]*collGather
+
+	remoteMu sync.Mutex
+	remote   []remoteContribution
+
+	results []*rankResult
+	corrs   []vclock.Correction
+}
+
+func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int32][]int32, cfg Config) *analyzer {
+	a := &analyzer{
+		traces:    traces,
+		corr:      make([]vclock.LinearMap, len(traces)),
+		comms:     comms,
+		cfg:       cfg,
+		mailboxes: make([]*mailbox, len(traces)),
+		colls:     make(map[collKey]*collGather),
+		results:   make([]*rankResult, len(traces)),
+		corrs:     corr,
+	}
+	for _, c := range corr {
+		a.corr[c.Rank] = c.Map
+	}
+	for i := range a.mailboxes {
+		a.mailboxes[i] = newMailbox()
+	}
+	return a
+}
+
+// run executes the replay with one goroutine per rank — the parallel
+// analysis of §4, which on the metacomputer itself would run on the
+// same processors as the application.
+func (a *analyzer) run() {
+	var wg sync.WaitGroup
+	for rank := range a.traces {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			a.results[rank] = a.replayRank(rank)
+		}(rank)
+	}
+	wg.Wait()
+}
+
+// gatherColl coordinates one collective instance and returns the
+// completed gather.
+func (a *analyzer) gatherColl(key collKey, size, commRank int, enter, exit float64, mh int) *collGather {
+	a.collMu.Lock()
+	g, ok := a.colls[key]
+	if !ok {
+		g = &collGather{
+			enters: make([]float64, size),
+			exits:  make([]float64, size),
+			mhs:    make([]int, size),
+			done:   make(chan struct{}),
+		}
+		a.colls[key] = g
+	}
+	g.enters[commRank] = enter
+	g.exits[commRank] = exit
+	g.mhs[commRank] = mh
+	g.arrived++
+	if g.arrived == size {
+		delete(a.colls, key)
+		close(g.done)
+	}
+	a.collMu.Unlock()
+	<-g.done
+	return g
+}
+
+// addRemote records a severity for another rank's call path.
+func (a *analyzer) addRemote(rc remoteContribution) {
+	a.remoteMu.Lock()
+	a.remote = append(a.remote, rc)
+	a.remoteMu.Unlock()
+}
+
+// stackEntry tracks an open region during the forward sweep.
+type stackEntry struct {
+	cp        int
+	enter     float64
+	childTime float64
+}
+
+// replayRank performs one analysis process's forward sweep.
+func (a *analyzer) replayRank(rank int) *rankResult {
+	t := a.traces[rank]
+	corr := a.corr[rank]
+	myMH := t.Loc.Metahost
+	rr := &rankResult{rank: rank, byKey: make(map[cpKey]int), commMatrix: make(map[[2]int]CommVolume)}
+	regions := make(map[trace.RegionID]*trace.Region, len(t.Regions))
+	for i := range t.Regions {
+		regions[t.Regions[i].ID] = &t.Regions[i]
+	}
+	collSeq := make(map[int32]int)
+
+	// delta is the forward timestamp-repair shift (controlled logical
+	// clock): non-decreasing, applied to every event from the moment a
+	// violation was repaired.
+	delta := 0.0
+	mu := a.cfg.RepairMu
+	if mu <= 0 {
+		mu = 1e-9
+	}
+
+	var stack []stackEntry
+	events := t.Events
+	for i := 0; i < len(events); i++ {
+		ev := &events[i]
+		ct := corr.Apply(ev.Time) + delta
+		switch ev.Kind {
+		case trace.KindEnter:
+			reg := regions[ev.Region]
+			parent := -1
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1].cp
+			}
+			cp := rr.cpID(parent, ev.Region, reg.Name, reg.Kind)
+			stack = append(stack, stackEntry{cp: cp, enter: ct})
+
+		case trace.KindExit:
+			if len(stack) == 0 {
+				rr.err = fmt.Errorf("replay: rank %d: exit without enter at event %d", rank, i)
+				return rr
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			dur := ct - top.enter
+			rr.acc[top.cp].excl += dur - top.childTime
+			rr.acc[top.cp].visits++
+			if len(stack) > 0 {
+				stack[len(stack)-1].childTime += dur
+			}
+
+		case trace.KindSend:
+			if len(stack) == 0 {
+				rr.err = fmt.Errorf("replay: rank %d: send outside region at event %d", rank, i)
+				return rr
+			}
+			top := stack[len(stack)-1]
+			exitT, ok := a.regionExitTime(events, i, corr, delta)
+			if !ok {
+				rr.err = fmt.Errorf("replay: rank %d: unterminated MPI region at event %d", rank, i)
+				return rr
+			}
+			def := a.comms[ev.Comm]
+			if int(ev.Peer) >= len(def) {
+				rr.err = fmt.Errorf("replay: rank %d: send to rank %d of %d-member communicator %d",
+					rank, ev.Peer, len(def), ev.Comm)
+				return rr
+			}
+			rr.acc[top.cp].bytesSent += float64(ev.Bytes)
+			rr.replayBytes += sendRecordWire
+			dst := int(def[ev.Peer])
+			dstMH := a.traces[dst].Loc.Metahost
+			if dstMH != myMH {
+				rr.replayExternal += sendRecordWire
+			}
+			cell := rr.commMatrix[[2]int{myMH, dstMH}]
+			cell.Messages++
+			cell.Bytes += ev.Bytes
+			rr.commMatrix[[2]int{myMH, dstMH}] = cell
+			a.mailboxes[dst].put(sendRecord{
+				comm:        ev.Comm,
+				srcWorld:    int32(rank),
+				tag:         ev.Tag,
+				bytes:       ev.Bytes,
+				srcMetahost: myMH,
+				sendEvent:   ct,
+				sendEnter:   top.enter,
+				sendExit:    exitT,
+				srcCP:       top.cp,
+			})
+
+		case trace.KindRecv:
+			if len(stack) == 0 {
+				rr.err = fmt.Errorf("replay: rank %d: recv outside region at event %d", rank, i)
+				return rr
+			}
+			top := stack[len(stack)-1]
+			def := a.comms[ev.Comm]
+			if int(ev.Peer) >= len(def) {
+				rr.err = fmt.Errorf("replay: rank %d: recv from rank %d of %d-member communicator %d",
+					rank, ev.Peer, len(def), ev.Comm)
+				return rr
+			}
+			srcWorld := def[ev.Peer]
+			rec := a.mailboxes[rank].take(ev.Comm, srcWorld, ev.Tag)
+			rr.messages++
+			rr.acc[top.cp].bytesRecv += float64(ev.Bytes)
+			if ct < rec.sendEvent {
+				rr.violations++
+				if a.cfg.Repair {
+					// Advance this process's logical clock just past
+					// the send; the shift persists for all later
+					// events, restoring causal order.
+					delta += rec.sendEvent + mu - ct
+					ct = corr.Apply(ev.Time) + delta
+					rr.repairs++
+				}
+			}
+			grid := rec.srcMetahost != myMH
+			ls := pattern.LateSenderWait(rec.sendEnter, top.enter, ct)
+			rr.recvLog = append(rr.recvLog, recvInfo{
+				cp:        top.cp,
+				sendEvent: rec.sendEvent,
+				recvEnter: top.enter,
+				lsWait:    ls,
+				grid:      grid,
+				srcMH:     rec.srcMetahost,
+			})
+			if rec.bytes > int64(a.cfg.EagerLimit) {
+				lr := pattern.LateReceiverWait(top.enter, rec.sendEnter, rec.sendExit)
+				if lr > 0 {
+					pat := pattern.LateReceiver
+					if grid {
+						pat = pattern.GridLateReceiver
+					}
+					a.addRemote(remoteContribution{
+						rank: int(rec.srcWorld), cp: rec.srcCP, pat: pat, val: lr,
+						mhA: rec.srcMetahost, mhB: myMH, isGrid: grid,
+					})
+				}
+			}
+
+		case trace.KindCollExit:
+			if len(stack) == 0 {
+				rr.err = fmt.Errorf("replay: rank %d: collexit outside region at event %d", rank, i)
+				return rr
+			}
+			top := stack[len(stack)-1]
+			def := a.comms[ev.Comm]
+			commRank := -1
+			for idx, wr := range def {
+				if int(wr) == rank {
+					commRank = idx
+					break
+				}
+			}
+			if commRank < 0 {
+				rr.err = fmt.Errorf("replay: rank %d: collexit on foreign communicator %d", rank, ev.Comm)
+				return rr
+			}
+			rr.acc[top.cp].bytesSent += float64(ev.Bytes)
+			seq := collSeq[ev.Comm]
+			collSeq[ev.Comm] = seq + 1
+			g := a.gatherColl(collKey{comm: ev.Comm, seq: seq}, len(def), commRank, top.enter, ct, myMH)
+			rr.colls++
+			rr.replayBytes += collGatherWire
+			for _, wr := range def {
+				if a.traces[wr].Loc.Metahost != myMH {
+					// The dissemination of gathered enters crosses the
+					// external network once per remote member.
+					rr.replayExternal += collGatherWire
+					break
+				}
+			}
+			a.scoreCollective(rr, top.cp, ev, g, commRank, ct)
+		}
+	}
+	if len(stack) != 0 {
+		rr.err = fmt.Errorf("replay: rank %d: %d unclosed regions at end of trace", rank, len(stack))
+	}
+	return rr
+}
+
+// regionExitTime finds the corrected exit time of the region enclosing
+// the event at index i (the first Exit that returns to the current
+// nesting depth). Under timestamp repair the current shift is used;
+// shifts applied later inside the region are not foreseen, a deliberate
+// simplification of the full controlled logical clock.
+func (a *analyzer) regionExitTime(events []trace.Event, i int, corr vclock.LinearMap, delta float64) (float64, bool) {
+	depth := 0
+	for j := i + 1; j < len(events); j++ {
+		switch events[j].Kind {
+		case trace.KindEnter:
+			depth++
+		case trace.KindExit:
+			if depth == 0 {
+				return corr.Apply(events[j].Time) + delta, true
+			}
+			depth--
+		}
+	}
+	return 0, false
+}
+
+// scoreCollective computes this participant's wait states for one
+// completed collective instance. Grid instances are additionally
+// classified by the metahost pair (this process's metahost, the
+// metahost of the process that caused the wait) — the fine-grained
+// classification §6 proposes.
+func (a *analyzer) scoreCollective(rr *rankResult, cp int, ev *trace.Event, g *collGather, commRank int, myDone float64) {
+	myEnter := g.enters[commRank]
+	myMH := g.mhs[commRank]
+	maxEnter, minOther := myEnter, 0.0
+	maxMH, minOtherMH := myMH, 0
+	haveOther := false
+	spans := false
+	for i, e := range g.enters {
+		if e > maxEnter {
+			maxEnter = e
+			maxMH = g.mhs[i]
+		}
+		if g.mhs[i] != g.mhs[0] {
+			spans = true
+		}
+		if int32(i) != ev.Root {
+			if !haveOther || e < minOther {
+				minOther = e
+				minOtherMH = g.mhs[i]
+				haveOther = true
+			}
+		}
+	}
+	add := func(pat pattern.ID, v float64, causeMH int) {
+		if v <= 0 {
+			return
+		}
+		if spans {
+			pat = pat.Gridded()
+			rr.acc[cp].addPair(pat, myMH, causeMH, v)
+		}
+		rr.acc[cp].waits[pat] += v
+	}
+	switch {
+	case ev.Coll == trace.CollBarrier:
+		add(pattern.WaitBarrier, pattern.WaitAtBarrierWait(maxEnter, myEnter, myDone), maxMH)
+		// Barrier Completion has no grid specialization; add directly.
+		rr.acc[cp].waits[pattern.BarrierCompletion] += pattern.BarrierCompletionWait(maxEnter, myEnter, myDone)
+	case ev.Coll.IsNxN():
+		add(pattern.WaitNxN, pattern.WaitAtNxNWait(maxEnter, myEnter, myDone), maxMH)
+		rr.acc[cp].waits[pattern.NxNCompletion] += pattern.NxNCompletionWait(maxEnter, myEnter, myDone)
+	case ev.Coll.IsNToOne():
+		if int32(commRank) == ev.Root && haveOther {
+			add(pattern.EarlyReduce, pattern.EarlyReduceWait(minOther, myEnter, myDone), minOtherMH)
+		}
+	case ev.Coll.IsOneToN():
+		if int32(commRank) != ev.Root {
+			rootEnter := g.enters[ev.Root]
+			add(pattern.LateBroadcast, pattern.LateBroadcastWait(rootEnter, myEnter, myDone), g.mhs[ev.Root])
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// rngSet hands out independent, reproducible random streams. Each
+// stream is seeded by mixing the engine seed with the stream name, so
+// adding a new consumer of randomness does not perturb the draws seen
+// by existing consumers — important when calibrating experiments.
+type rngSet struct {
+	seed    int64
+	streams map[string]*rand.Rand
+}
+
+func newRNGSet(seed int64) *rngSet {
+	return &rngSet{seed: seed, streams: make(map[string]*rand.Rand)}
+}
+
+func (s *rngSet) stream(name string) *rand.Rand {
+	if r, ok := s.streams[name]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	mixed := s.seed ^ int64(h.Sum64())
+	r := rand.New(rand.NewSource(mixed))
+	s.streams[name] = r
+	return r
+}
+
+// Stream returns the named random stream, creating it on first use.
+// Streams with different names are statistically independent; the same
+// (seed, name) pair always yields the same sequence.
+func (e *Engine) Stream(name string) *rand.Rand { return e.rng.stream(name) }
+
+// Seed returns the engine's base seed.
+func (e *Engine) Seed() int64 { return e.rng.seed }
+
+// Normal draws from N(mean, sd) on the named stream, truncated below at
+// lo. Latency samples use lo to stay physically plausible (> 0).
+func (e *Engine) Normal(stream string, mean, sd, lo float64) float64 {
+	x := mean + sd*e.rng.stream(stream).NormFloat64()
+	if x < lo {
+		return lo
+	}
+	return x
+}
+
+// Pareto draws from a Pareto distribution with scale xm > 0 and shape
+// alpha > 0 on the named stream. Used for heavy-tailed cross-traffic
+// delay spikes on shared wide-area links.
+func (e *Engine) Pareto(stream string, xm, alpha float64) float64 {
+	u := e.rng.stream(stream).Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Exp draws from an exponential distribution with the given mean.
+func (e *Engine) Exp(stream string, mean float64) float64 {
+	return e.rng.stream(stream).ExpFloat64() * mean
+}
+
+// Uniform draws uniformly from [lo, hi) on the named stream.
+func (e *Engine) Uniform(stream string, lo, hi float64) float64 {
+	return lo + (hi-lo)*e.rng.stream(stream).Float64()
+}
+
+// Intn draws uniformly from [0, n) on the named stream.
+func (e *Engine) Intn(stream string, n int) int {
+	return e.rng.stream(stream).Intn(n)
+}

@@ -1,0 +1,192 @@
+package topology
+
+// Preset topologies for the experiments in the paper (§5). Latency
+// means and standard deviations for the VIOLA testbed are calibrated to
+// Table 1; bandwidths follow the hardware named in the text (Gigabit
+// Ethernet, usock over Myrinet, usock over RapidArray, 10 Gbps optical
+// wide-area links).
+
+// Kernel labels used by the MetaTrace workload to select per-submodel
+// speed factors (see Metahost.Speed).
+const (
+	KernelTraceCG  = "trace-cg" // Trace: CG solver + finelassdt compute
+	KernelPartrace = "partrace" // Partrace: particle tracking compute
+)
+
+// VIOLA builds the three-metahost section of the VIOLA testbed used in
+// the paper's experiments:
+//
+//	[0] CAESAR  — 32 × 2-way Intel Xeon 2.6 GHz, Gigabit Ethernet
+//	[1] FH-BRS  — 6 × 4-way AMD Opteron 2 GHz, usock over Myrinet
+//	[2] FZJ     — Cray XD1, 60 × 2-way AMD Opteron 2.2 GHz, usock over
+//	              RapidArray
+//
+// Sites are 20–100 km apart, joined pairwise by dedicated 10 Gbps
+// optical links. The FZJ–FH-BRS latency (988 µs, σ 3.86 µs), FZJ
+// internal latency (21.5 µs, σ 0.814 µs), and FH-BRS internal latency
+// (44.4 µs, σ 0.360 µs) are taken directly from Table 1. Speed factors
+// encode the paper's observation that Trace's non-MPI functions ran
+// about twice as fast on FH-BRS as on CAESAR.
+func VIOLA() *Metacomputer {
+	mc := New("VIOLA")
+
+	gige := Link{ // CAESAR internal: Gigabit Ethernet
+		LatencyMean: 55e-6,
+		LatencySD:   1.2e-6,
+		Bandwidth:   125e6, // 1 Gbps
+		Dedicated:   true,
+	}
+	myrinet := Link{ // FH-BRS internal: usock over Myrinet (Table 1)
+		LatencyMean: 44.4e-6,
+		LatencySD:   0.360e-6,
+		Bandwidth:   250e6, // ~2 Gbps
+		Dedicated:   true,
+	}
+	rapidarray := Link{ // FZJ internal: usock over RapidArray (Table 1)
+		LatencyMean: 21.5e-6,
+		LatencySD:   0.814e-6,
+		Bandwidth:   1e9, // ~8 Gbps
+		Dedicated:   true,
+	}
+	shm := Link{ // same-SMP-node communication
+		LatencyMean: 1.5e-6,
+		LatencySD:   0.1e-6,
+		Bandwidth:   2e9,
+		Dedicated:   true,
+	}
+
+	clock := ClockSpec{
+		MaxOffset:   2.0,  // node clocks may be off by seconds
+		MaxDrift:    2e-5, // commodity quartz: tens of µs per second
+		Granularity: 1e-7, // 100 ns read resolution
+	}
+
+	mc.AddMetahost(&Metahost{
+		Name: "CAESAR", Site: "Center of Advanced European Studies and Research, Bonn",
+		Arch: "PC cluster, 2-way Intel Xeon 2.6 GHz", Nodes: 32, CPUs: 2,
+		Interconnect: "Gigabit Ethernet", Internal: gige, NodeLocal: shm,
+		Clock: clock,
+		Speed: map[string]float64{
+			"":            1.0,
+			KernelTraceCG: 1.0, // baseline: CAESAR Xeon
+		},
+	})
+	mc.AddMetahost(&Metahost{
+		Name: "FH-BRS", Site: "FH Bonn-Rhein-Sieg, Sankt Augustin",
+		Arch: "PC cluster, 4-way AMD Opteron 2 GHz", Nodes: 6, CPUs: 4,
+		Interconnect: "usock/Myrinet", Internal: myrinet, NodeLocal: shm,
+		Clock: clock,
+		Speed: map[string]float64{
+			"":            1.8,
+			KernelTraceCG: 2.0, // ~2× CAESAR on Trace compute (paper §5)
+		},
+	})
+	mc.AddMetahost(&Metahost{
+		Name: "FZJ", Site: "Forschungszentrum Jülich",
+		Arch: "Cray XD1, 2-way AMD Opteron 2.2 GHz", Nodes: 60, CPUs: 2,
+		Interconnect: "usock/RapidArray", Internal: rapidarray, NodeLocal: shm,
+		Clock: clock,
+		Speed: map[string]float64{
+			"":             1.9,
+			KernelTraceCG:  2.1,
+			KernelPartrace: 2.2, // XD1 executes the particle code well
+		},
+	})
+
+	// Pairwise dedicated 10 Gbps optical links. FZJ–FH-BRS calibrated
+	// to Table 1; the other pairs scale with rough site distance.
+	external := func(lat, sd float64) Link {
+		return Link{
+			LatencyMean: lat,
+			LatencySD:   sd,
+			Bandwidth:   1.25e9, // 10 Gbps
+			Dedicated:   true,
+		}
+	}
+	mc.DefaultExternal = external(988e-6, 3.86e-6)
+	mc.SetExternal(2, 1, external(988e-6, 3.86e-6)) // FZJ – FH-BRS (Table 1)
+	mc.SetExternal(2, 0, external(910e-6, 3.5e-6))  // FZJ – CAESAR
+	mc.SetExternal(0, 1, external(240e-6, 2.1e-6))  // CAESAR – FH-BRS (nearby sites)
+	return mc
+}
+
+// VIOLAShared is the VIOLA topology with the external links marked as
+// shared instead of dedicated, adding heavy-tailed cross-traffic delay
+// spikes. The paper notes that a non-dedicated external network may
+// "suffer from interference with unrelated traffic"; this variant
+// exercises that regime (and is what makes flat offset measurements
+// across the external network markedly less accurate, §4/§5).
+func VIOLAShared() *Metacomputer {
+	mc := VIOLA()
+	degrade := func(l Link) Link {
+		l.Dedicated = false
+		l.LatencySD *= 4
+		l.SpikeProb = 0.06
+		l.SpikeScale = 80e-6
+		l.SpikeAlpha = 1.3
+		return l
+	}
+	mc.DefaultExternal = degrade(mc.DefaultExternal)
+	for i := range mc.Metahosts {
+		for j := i + 1; j < len(mc.Metahosts); j++ {
+			mc.SetExternal(i, j, degrade(mc.ExternalLink(i, j)))
+		}
+	}
+	return mc
+}
+
+// IBMPower builds the homogeneous comparison system of Experiment 2
+// (Table 3): a single IBM AIX POWER metahost. Two 16-way nodes host the
+// two submodels with 16 processes each.
+func IBMPower() *Metacomputer {
+	mc := New("IBM-AIX-POWER")
+	internal := Link{
+		LatencyMean: 28e-6,
+		LatencySD:   0.6e-6,
+		Bandwidth:   1.5e9, // High Performance Switch class
+		Dedicated:   true,
+	}
+	shm := Link{
+		LatencyMean: 1.2e-6,
+		LatencySD:   0.08e-6,
+		Bandwidth:   3e9,
+		Dedicated:   true,
+	}
+	mc.AddMetahost(&Metahost{
+		Name: "IBM-POWER", Site: "Forschungszentrum Jülich",
+		Arch: "IBM AIX POWER, 16-way SMP", Nodes: 4, CPUs: 16,
+		Interconnect: "HPS", Internal: internal, NodeLocal: shm,
+		Clock: ClockSpec{MaxOffset: 1.0, MaxDrift: 1e-5, Granularity: 1e-7},
+		Speed: map[string]float64{
+			"":             1.9,
+			KernelTraceCG:  1.9, // POWER balances the two submodels almost
+			KernelPartrace: 2.3, // perfectly; Partrace arrives slightly
+			// early at the coupling barrier (a small residual Wait at
+			// Barrier in ReadVelFieldFromTrace), while Trace now waits
+			// for Partrace's steering messages (paper §5: the steering
+			// Late Sender grows in the one-metahost case).
+		},
+	})
+	return mc
+}
+
+// ViolaExperiment1Placement reproduces the three-metahost configuration
+// of Table 3: Partrace on the XD1 at FZJ (8 nodes × 2 processes), Trace
+// on FH-BRS (2 nodes × 4) and CAESAR (4 nodes × 2). Ranks 0–15 run
+// Trace, ranks 16–31 run Partrace, 32 processes in total.
+func ViolaExperiment1Placement(mc *Metacomputer) *Placement {
+	p := NewPlacement(mc)
+	p.MustPlace(1, 0, 2, 4) // Trace on FH-BRS: ranks 0–7
+	p.MustPlace(0, 0, 4, 2) // Trace on CAESAR: ranks 8–15
+	p.MustPlace(2, 0, 8, 2) // Partrace on XD1/FZJ: ranks 16–31
+	return p
+}
+
+// IBMExperiment2Placement reproduces the one-metahost configuration of
+// Table 3: Trace and Partrace each on one 16-way IBM node.
+func IBMExperiment2Placement(mc *Metacomputer) *Placement {
+	p := NewPlacement(mc)
+	p.MustPlace(0, 0, 1, 16) // Trace: ranks 0–15 on node 0
+	p.MustPlace(0, 1, 1, 16) // Partrace: ranks 16–31 on node 1
+	return p
+}

@@ -1,0 +1,262 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinkClassString(t *testing.T) {
+	for c, want := range map[LinkClass]string{
+		SameNode: "same-node", Internal: "internal", External: "external",
+		LinkClass(9): "LinkClass(9)",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", int(c), c.String())
+		}
+	}
+}
+
+func TestLinkValidate(t *testing.T) {
+	good := Link{LatencyMean: 1e-5, LatencySD: 1e-7, Bandwidth: 1e9}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good link invalid: %v", err)
+	}
+	cases := []Link{
+		{LatencyMean: 0, Bandwidth: 1e9},
+		{LatencyMean: 1e-5, LatencySD: -1, Bandwidth: 1e9},
+		{LatencyMean: 1e-5, Bandwidth: 0},
+		{LatencyMean: 1e-5, Bandwidth: 1e9, SpikeProb: 1.5},
+	}
+	for i, l := range cases {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: bad link validated", i)
+		}
+	}
+	// Spike probability is ignored on dedicated links.
+	ded := Link{LatencyMean: 1e-5, Bandwidth: 1e9, Dedicated: true, SpikeProb: 7}
+	if err := ded.Validate(); err != nil {
+		t.Errorf("dedicated link with junk spike prob must validate: %v", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	a := Loc{Metahost: 0, Node: 0, CPU: 0}
+	b := Loc{Metahost: 0, Node: 0, CPU: 1}
+	c := Loc{Metahost: 0, Node: 1, CPU: 0}
+	d := Loc{Metahost: 1, Node: 0, CPU: 0}
+	if Classify(a, b) != SameNode {
+		t.Errorf("same node misclassified")
+	}
+	if Classify(a, c) != Internal {
+		t.Errorf("internal misclassified")
+	}
+	if Classify(a, d) != External {
+		t.Errorf("external misclassified")
+	}
+}
+
+func TestSpeedForFallbacks(t *testing.T) {
+	m := &Metahost{Speed: map[string]float64{"": 1.5, "cg": 2.0}}
+	if m.SpeedFor("cg") != 2.0 {
+		t.Errorf("kernel-specific speed not used")
+	}
+	if m.SpeedFor("other") != 1.5 {
+		t.Errorf("default entry not used")
+	}
+	empty := &Metahost{}
+	if empty.SpeedFor("x") != 1.0 {
+		t.Errorf("nil speed map must yield 1.0")
+	}
+}
+
+func TestPlacementPlaceAndLookup(t *testing.T) {
+	mc := VIOLA()
+	p := NewPlacement(mc)
+	lo, hi, err := p.Place(1, 0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi != 8 {
+		t.Fatalf("range [%d,%d), want [0,8)", lo, hi)
+	}
+	if got := p.Loc(5); got != (Loc{Metahost: 1, Node: 1, CPU: 1}) {
+		t.Fatalf("Loc(5) = %v", got)
+	}
+	if n := p.N(); n != 8 {
+		t.Fatalf("N = %d", n)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	mc := VIOLA()
+	p := NewPlacement(mc)
+	if _, _, err := p.Place(99, 0, 1, 1); err == nil {
+		t.Errorf("unknown metahost accepted")
+	}
+	if _, _, err := p.Place(1, 5, 2, 1); err == nil {
+		t.Errorf("node range overflow accepted")
+	}
+	if _, _, err := p.Place(1, 0, 1, 99); err == nil {
+		t.Errorf("per-node overflow accepted")
+	}
+	p.MustPlace(1, 0, 1, 2)
+	if _, _, err := p.Place(1, 0, 1, 2); err == nil {
+		t.Errorf("double occupancy accepted")
+	}
+	empty := NewPlacement(mc)
+	if err := empty.Validate(); err == nil {
+		t.Errorf("empty placement validated")
+	}
+}
+
+func TestRanksOnAndMetahostsUsed(t *testing.T) {
+	mc := VIOLA()
+	p := ViolaExperiment1Placement(mc)
+	if p.N() != 32 {
+		t.Fatalf("experiment 1 has %d ranks, want 32", p.N())
+	}
+	if got := p.RanksOn(1); len(got) != 8 || got[0] != 0 || got[7] != 7 {
+		t.Fatalf("FH-BRS ranks %v", got)
+	}
+	if got := p.RanksOn(0); len(got) != 8 || got[0] != 8 {
+		t.Fatalf("CAESAR ranks %v", got)
+	}
+	if got := p.RanksOn(2); len(got) != 16 || got[0] != 16 {
+		t.Fatalf("FZJ ranks %v", got)
+	}
+	used := p.MetahostsUsed()
+	if len(used) != 3 || used[0] != 0 || used[2] != 2 {
+		t.Fatalf("metahosts used %v", used)
+	}
+}
+
+func TestVIOLAMatchesTable1Parameters(t *testing.T) {
+	mc := VIOLA()
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Metahosts) != 3 {
+		t.Fatalf("VIOLA has %d metahosts", len(mc.Metahosts))
+	}
+	fzj := mc.Metahosts[2]
+	if fzj.Name != "FZJ" || fzj.Nodes != 60 || fzj.CPUs != 2 {
+		t.Errorf("FZJ misconfigured: %+v", fzj)
+	}
+	if fzj.Internal.LatencyMean != 21.5e-6 {
+		t.Errorf("FZJ internal latency %g, want 21.5 us (Table 1)", fzj.Internal.LatencyMean)
+	}
+	ext := mc.ExternalLink(2, 1)
+	if ext.LatencyMean != 988e-6 || ext.LatencySD != 3.86e-6 {
+		t.Errorf("FZJ-FHBRS external %g/%g, want 988/3.86 us (Table 1)", ext.LatencyMean, ext.LatencySD)
+	}
+	brs := mc.Metahosts[1]
+	if brs.Internal.LatencyMean != 44.4e-6 {
+		t.Errorf("FH-BRS internal %g, want 44.4 us (Table 1)", brs.Internal.LatencyMean)
+	}
+	// The paper's central heterogeneity: Trace compute ~2x faster on
+	// FH-BRS than on CAESAR.
+	if r := brs.SpeedFor(KernelTraceCG) / mc.Metahosts[0].SpeedFor(KernelTraceCG); r != 2.0 {
+		t.Errorf("FH-BRS/CAESAR Trace speed ratio %g, want 2.0", r)
+	}
+}
+
+func TestExternalLinkSymmetryAndOverride(t *testing.T) {
+	mc := VIOLA()
+	if mc.ExternalLink(1, 2) != mc.ExternalLink(2, 1) {
+		t.Errorf("external link lookup not order-insensitive")
+	}
+	l := Link{LatencyMean: 5e-4, LatencySD: 1e-6, Bandwidth: 1e9}
+	mc.SetExternal(0, 2, l)
+	if mc.ExternalLink(2, 0) != l {
+		t.Errorf("override not returned")
+	}
+}
+
+func TestVIOLASharedDegradesExternalOnly(t *testing.T) {
+	ded := VIOLA()
+	sh := VIOLAShared()
+	if err := sh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if sh.Metahosts[i].Internal != ded.Metahosts[i].Internal {
+			t.Errorf("internal link of %s changed", sh.Metahosts[i].Name)
+		}
+		for j := i + 1; j < 3; j++ {
+			l := sh.ExternalLink(i, j)
+			if l.Dedicated {
+				t.Errorf("external link (%d,%d) still dedicated", i, j)
+			}
+			if l.SpikeProb <= 0 {
+				t.Errorf("external link (%d,%d) has no cross traffic", i, j)
+			}
+		}
+	}
+}
+
+func TestIBMPowerExperiment2(t *testing.T) {
+	mc := IBMPower()
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := IBMExperiment2Placement(mc)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 32 {
+		t.Fatalf("experiment 2 has %d ranks", p.N())
+	}
+	// Table 3: one node with 16 processes per submodel.
+	for r := 0; r < 16; r++ {
+		if p.Loc(r).Node != 0 {
+			t.Fatalf("Trace rank %d on node %d", r, p.Loc(r).Node)
+		}
+		if p.Loc(16+r).Node != 1 {
+			t.Fatalf("Partrace rank %d on node %d", 16+r, p.Loc(16+r).Node)
+		}
+	}
+	if len(p.MetahostsUsed()) != 1 {
+		t.Fatalf("experiment 2 uses %d metahosts", len(p.MetahostsUsed()))
+	}
+}
+
+func TestMetacomputerValidateCatchesCorruption(t *testing.T) {
+	mc := VIOLA()
+	mc.Metahosts[1].Name = "CAESAR" // duplicate
+	if err := mc.Validate(); err == nil {
+		t.Errorf("duplicate name validated")
+	}
+	mc = VIOLA()
+	mc.Metahosts[0].Nodes = 0
+	if err := mc.Validate(); err == nil {
+		t.Errorf("zero nodes validated")
+	}
+	mc = VIOLA()
+	mc.Metahosts[2].Internal.Bandwidth = -1
+	if err := mc.Validate(); err == nil {
+		t.Errorf("negative bandwidth validated")
+	}
+	empty := New("empty")
+	if err := empty.Validate(); err == nil {
+		t.Errorf("empty metacomputer validated")
+	}
+}
+
+func TestDescribeMentionsEveryMetahostAndLink(t *testing.T) {
+	out := VIOLA().Describe()
+	for _, want := range []string{"CAESAR", "FH-BRS", "FZJ", "external links",
+		"RapidArray", "988.0 us", "10.00 Gbps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLocString(t *testing.T) {
+	if got := (Loc{Metahost: 1, Node: 2, CPU: 3}).String(); got != "1/2/3" {
+		t.Errorf("Loc.String() = %q", got)
+	}
+}

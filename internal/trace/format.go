@@ -1,0 +1,334 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The binary trace format ("MSCP"): a little-endian, varint-based
+// encoding in the spirit of EPILOG. Layout:
+//
+//	magic "MSCP" | version u8
+//	location: rank, metahost, node, cpu (uvarint), metahost name (string)
+//	sync block: master ranks, flags, 6 measurements (3 × f64 each)
+//	region table: count, then (id, kind, name) per region
+//	event stream: count, then per event a kind byte followed by the
+//	              fields meaningful for that kind
+//
+// Strings are uvarint length + bytes. Floats are 8-byte IEEE 754.
+// Signed integers use zig-zag varints.
+
+var magic = [4]byte{'M', 'S', 'C', 'P'}
+
+const formatVersion = 1
+
+// ErrBadMagic is returned when decoding a stream that is not a
+// metascope trace file.
+var ErrBadMagic = errors.New("trace: bad magic (not a metascope trace file)")
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) u64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) i64(v int64) {
+	e.u64(uint64((v << 1) ^ (v >> 63))) // zig-zag
+}
+
+func (e *encoder) f64(v float64) {
+	if e.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	_, e.err = e.w.Write(b[:])
+}
+
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.WriteString(s)
+}
+
+func (e *encoder) byte(b byte) {
+	if e.err != nil {
+		return
+	}
+	e.err = e.w.WriteByte(b)
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = fmt.Errorf("trace: truncated varint: %w", err)
+	}
+	return v
+}
+
+func (d *decoder) i64() int64 {
+	u := d.u64()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		d.err = fmt.Errorf("trace: truncated float: %w", err)
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+func (d *decoder) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("trace: implausible string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = fmt.Errorf("trace: truncated string: %w", err)
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = fmt.Errorf("trace: truncated byte: %w", err)
+	}
+	return b
+}
+
+func encodeMeasurement(e *encoder, m [3]float64) {
+	e.f64(m[0])
+	e.f64(m[1])
+	e.f64(m[2])
+}
+
+// Encode writes the trace to w in the MSCP binary format.
+func (t *Trace) Encode(w io.Writer) error {
+	e := &encoder{w: bufio.NewWriter(w)}
+	if _, err := e.w.Write(magic[:]); err != nil {
+		return err
+	}
+	e.byte(formatVersion)
+
+	// Location.
+	e.i64(int64(t.Loc.Rank))
+	e.i64(int64(t.Loc.Metahost))
+	e.i64(int64(t.Loc.Node))
+	e.i64(int64(t.Loc.CPU))
+	e.str(t.Loc.MetahostName)
+
+	// Sync data.
+	s := &t.Sync
+	e.i64(int64(s.GlobalMasterRank))
+	e.i64(int64(s.LocalMasterRank))
+	if s.SharedNodeClock {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+	for _, m := range []struct{ a, b, c float64 }{
+		{s.FlatStart.Local, s.FlatStart.Offset, s.FlatStart.Err},
+		{s.FlatEnd.Local, s.FlatEnd.Offset, s.FlatEnd.Err},
+		{s.LocalStart.Local, s.LocalStart.Offset, s.LocalStart.Err},
+		{s.LocalEnd.Local, s.LocalEnd.Offset, s.LocalEnd.Err},
+		{s.MasterStart.Local, s.MasterStart.Offset, s.MasterStart.Err},
+		{s.MasterEnd.Local, s.MasterEnd.Offset, s.MasterEnd.Err},
+	} {
+		encodeMeasurement(e, [3]float64{m.a, m.b, m.c})
+	}
+
+	// Region table.
+	e.u64(uint64(len(t.Regions)))
+	for _, r := range t.Regions {
+		e.u64(uint64(r.ID))
+		e.byte(byte(r.Kind))
+		e.str(r.Name)
+	}
+
+	// Communicator definitions.
+	e.u64(uint64(len(t.Comms)))
+	for _, cd := range t.Comms {
+		e.i64(int64(cd.ID))
+		e.u64(uint64(len(cd.Ranks)))
+		for _, r := range cd.Ranks {
+			e.i64(int64(r))
+		}
+	}
+
+	// Events.
+	e.u64(uint64(len(t.Events)))
+	for i := range t.Events {
+		ev := &t.Events[i]
+		e.byte(byte(ev.Kind))
+		e.f64(ev.Time)
+		switch ev.Kind {
+		case KindEnter, KindExit:
+			e.u64(uint64(ev.Region))
+		case KindSend, KindRecv:
+			e.i64(int64(ev.Comm))
+			e.i64(int64(ev.Peer))
+			e.i64(int64(ev.Tag))
+			e.i64(ev.Bytes)
+		case KindCollExit:
+			e.i64(int64(ev.Comm))
+			e.byte(byte(ev.Coll))
+			e.i64(int64(ev.Root))
+			e.i64(ev.Bytes)
+		default:
+			return fmt.Errorf("trace: cannot encode event of kind %d", ev.Kind)
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// Decode reads one trace from r. It fails with ErrBadMagic on foreign
+// input and with a descriptive error on truncation or corruption.
+func Decode(r io.Reader) (*Trace, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+	var m [4]byte
+	if _, err := io.ReadFull(d.r, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	if v := d.byte(); v != formatVersion {
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", v, formatVersion)
+	}
+
+	t := &Trace{}
+	t.Loc.Rank = int(d.i64())
+	t.Loc.Metahost = int(d.i64())
+	t.Loc.Node = int(d.i64())
+	t.Loc.CPU = int(d.i64())
+	t.Loc.MetahostName = d.str()
+
+	s := &t.Sync
+	s.GlobalMasterRank = int(d.i64())
+	s.LocalMasterRank = int(d.i64())
+	s.SharedNodeClock = d.byte() == 1
+	read3 := func() (a, b, c float64) { return d.f64(), d.f64(), d.f64() }
+	s.FlatStart.Local, s.FlatStart.Offset, s.FlatStart.Err = read3()
+	s.FlatEnd.Local, s.FlatEnd.Offset, s.FlatEnd.Err = read3()
+	s.LocalStart.Local, s.LocalStart.Offset, s.LocalStart.Err = read3()
+	s.LocalEnd.Local, s.LocalEnd.Offset, s.LocalEnd.Err = read3()
+	s.MasterStart.Local, s.MasterStart.Offset, s.MasterStart.Err = read3()
+	s.MasterEnd.Local, s.MasterEnd.Offset, s.MasterEnd.Err = read3()
+
+	nr := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nr > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible region count %d", nr)
+	}
+	t.Regions = make([]Region, nr)
+	for i := range t.Regions {
+		t.Regions[i].ID = RegionID(d.u64())
+		t.Regions[i].Kind = RegionKind(d.byte())
+		t.Regions[i].Name = d.str()
+	}
+
+	nc := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nc > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible communicator count %d", nc)
+	}
+	t.Comms = make([]CommDef, nc)
+	for i := range t.Comms {
+		t.Comms[i].ID = int32(d.i64())
+		nr := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if nr > 1<<24 {
+			return nil, fmt.Errorf("trace: implausible communicator size %d", nr)
+		}
+		t.Comms[i].Ranks = make([]int32, nr)
+		for j := range t.Comms[i].Ranks {
+			t.Comms[i].Ranks[j] = int32(d.i64())
+		}
+	}
+
+	ne := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ne > 1<<28 {
+		return nil, fmt.Errorf("trace: implausible event count %d", ne)
+	}
+	t.Events = make([]Event, ne)
+	for i := range t.Events {
+		ev := &t.Events[i]
+		ev.Kind = EventKind(d.byte())
+		ev.Time = d.f64()
+		switch ev.Kind {
+		case KindEnter, KindExit:
+			ev.Region = RegionID(d.u64())
+		case KindSend, KindRecv:
+			ev.Comm = int32(d.i64())
+			ev.Peer = int32(d.i64())
+			ev.Tag = int32(d.i64())
+			ev.Bytes = d.i64()
+		case KindCollExit:
+			ev.Comm = int32(d.i64())
+			ev.Coll = CollOp(d.byte())
+			ev.Root = int32(d.i64())
+			ev.Bytes = d.i64()
+		default:
+			if d.err != nil {
+				return nil, d.err
+			}
+			return nil, fmt.Errorf("trace: event %d has invalid kind %d", i, ev.Kind)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return t, nil
+}

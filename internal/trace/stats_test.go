@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsCountsEverything(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.Stats()
+	if s.Events != len(tr.Events) {
+		t.Errorf("Events = %d", s.Events)
+	}
+	if s.ByKind[KindEnter] != 4 || s.ByKind[KindExit] != 4 {
+		t.Errorf("enter/exit counts %d/%d", s.ByKind[KindEnter], s.ByKind[KindExit])
+	}
+	if s.ByKind[KindSend] != 1 || s.Messages != 1 {
+		t.Errorf("send/recv counts %d/%d", s.ByKind[KindSend], s.Messages)
+	}
+	if s.BytesSent != 65536 || s.BytesRecv != 10 {
+		t.Errorf("bytes %d/%d", s.BytesSent, s.BytesRecv)
+	}
+	if s.CollOps[CollBarrier] != 1 {
+		t.Errorf("coll ops %v", s.CollOps)
+	}
+	if s.RegionVisits["main"] != 1 || s.RegionVisits["MPI_Send"] != 2 {
+		t.Errorf("region visits %v", s.RegionVisits)
+	}
+	if s.MaxDepth != 2 {
+		t.Errorf("max depth %d", s.MaxDepth)
+	}
+	if s.Duration != 3.0 {
+		t.Errorf("duration %g", s.Duration)
+	}
+	if s.PeerMessages[[2]int32{1, 0}] != 2 {
+		t.Errorf("peer messages %v", s.PeerMessages)
+	}
+}
+
+func TestStatsFormat(t *testing.T) {
+	out := sampleTrace().Stats().Format()
+	for _, want := range []string{"FH-BRS:rank3", "events", "MPI_Barrier x1", "region visits", "main"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpRendersEventsWithNesting(t *testing.T) {
+	tr := sampleTrace()
+	out := tr.Dump(0)
+	for _, want := range []string{"ENTER main", "SEND", "RECV", "COLL  MPI_Barrier", "EXIT  main"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+	// Nesting indentation: the inner ENTER is indented.
+	if !strings.Contains(out, "  ENTER MPI_Send") {
+		t.Errorf("no indentation in dump:\n%s", out)
+	}
+	// Limit cuts the stream and says so.
+	short := tr.Dump(3)
+	if !strings.Contains(short, "more events") {
+		t.Errorf("limited dump missing continuation marker:\n%s", short)
+	}
+	if strings.Count(short, "\n") > 5 {
+		t.Errorf("limited dump too long")
+	}
+}

@@ -1,0 +1,167 @@
+package metascope
+
+import (
+	"strings"
+	"testing"
+
+	"metascope/internal/archive"
+	"metascope/internal/measure"
+	"metascope/internal/pattern"
+	"metascope/internal/topology"
+)
+
+func smallExperiment(t *testing.T, seed int64) *Experiment {
+	t.Helper()
+	topo := VIOLA()
+	place := topology.NewPlacement(topo)
+	place.MustPlace(2, 0, 2, 2) // 4 ranks on FZJ
+	place.MustPlace(0, 0, 2, 2) // 4 ranks on CAESAR
+	return NewExperiment("facade-test", topo, place, seed)
+}
+
+func body(m *measure.M) {
+	c := m.World()
+	m.Enter("main")
+	for i := 0; i < 5; i++ {
+		m.Enter("work")
+		m.Compute("", 0.02)
+		m.Exit()
+		m.Enter("sync")
+		c.Barrier()
+		m.Exit()
+	}
+	m.Exit()
+}
+
+func TestExperimentPipeline(t *testing.T) {
+	e := smallExperiment(t, 1)
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Engine() == nil || e.World() == nil || e.Clocks() == nil || e.Mounts() == nil {
+		t.Fatal("Build did not wire components")
+	}
+	if e.Mounts().Shared() {
+		t.Error("default mounts must be per-metahost")
+	}
+	if err := e.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := e.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 8 {
+		t.Fatalf("%d traces", len(traces))
+	}
+	res, err := e.Analyze(Hierarchical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations %d under hierarchical sync", res.Violations)
+	}
+	// CAESAR is slower, so FZJ waits at the barrier; those waits are
+	// grid waits (world comm spans metahosts).
+	rep := res.Report
+	gwb := rep.MetricIndex(pattern.KeyGridWB)
+	if rep.MetricTotal(gwb) <= 0 {
+		t.Errorf("no grid barrier waiting found")
+	}
+	fzjShare := 0.0
+	sync := rep.CallByPath([]string{"main", "sync"})
+	fzjShare = rep.MetahostValue(gwb, sync, "FZJ")
+	if fzjShare < 0.8*rep.MetricCallInclusive(gwb, sync) {
+		t.Errorf("grid barrier waits not concentrated on the fast metahost")
+	}
+}
+
+func TestExperimentGuards(t *testing.T) {
+	e := smallExperiment(t, 2)
+	if _, err := e.Analyze(Hierarchical); err == nil {
+		t.Error("Analyze before Run succeeded")
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Build(); err == nil {
+		t.Error("double Build succeeded")
+	}
+	if err := e.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(body); err == nil {
+		t.Error("double Run succeeded")
+	}
+}
+
+func TestExperimentRunImplicitBuild(t *testing.T) {
+	e := smallExperiment(t, 3)
+	if err := e.Run(body); err != nil { // Build is implicit
+		t.Fatal(err)
+	}
+	if _, err := e.Analyze(FlatInterp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentSharedFS(t *testing.T) {
+	e := smallExperiment(t, 4)
+	e.SharedFS = true
+	if err := e.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Mounts().Shared() {
+		t.Fatal("SharedFS not honoured")
+	}
+	// All 8 traces on the single file system.
+	fs := e.Mounts().For(0)
+	found := 0
+	for rank := 0; rank < 8; rank++ {
+		if fs.Exists(archive.TraceFile(e.ArchiveDir, rank)) {
+			found++
+		}
+	}
+	if found != 8 {
+		t.Fatalf("%d traces on shared fs", found)
+	}
+}
+
+func TestAnalyzeAllCoversSchemes(t *testing.T) {
+	e := smallExperiment(t, 5)
+	if err := e.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	all, err := e.AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("%d schemes", len(all))
+	}
+	for _, s := range []Scheme{FlatSingle, FlatInterp, Hierarchical} {
+		if all[s] == nil {
+			t.Errorf("scheme %v missing", s)
+		}
+	}
+}
+
+func TestExperimentValidatesInputs(t *testing.T) {
+	topo := VIOLA()
+	empty := topology.NewPlacement(topo)
+	e := NewExperiment("bad", topo, empty, 1)
+	if err := e.Build(); err == nil || !strings.Contains(err.Error(), "empty placement") {
+		t.Fatalf("empty placement accepted: %v", err)
+	}
+}
+
+func TestPresetReexports(t *testing.T) {
+	if VIOLA() == nil || VIOLAShared() == nil || IBMPower() == nil {
+		t.Fatal("preset constructors broken")
+	}
+	p1 := ViolaExperiment1Placement(VIOLA())
+	p2 := IBMExperiment2Placement(IBMPower())
+	if p1.N() != 32 || p2.N() != 32 {
+		t.Fatalf("placements %d/%d ranks", p1.N(), p2.N())
+	}
+}
