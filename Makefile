@@ -1,0 +1,18 @@
+# Convenience entry points; see script/check.sh for the tier-1 gate.
+
+.PHONY: check build test race vet
+
+check: ## vet + build + race-enabled tests (tier-1 gate)
+	./script/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...

@@ -7,55 +7,58 @@
 // The -in directory holds one subdirectory per metahost file system;
 // each analysis process reads only the local trace files of its ranks,
 // exactly as on a metacomputer without a shared file system.
+//
+// With -metrics-out=FILE.json it also writes BENCH_pipeline.json next
+// to the snapshot: phase durations, replay communication volumes, and
+// violation counts for benchmarking across runs.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 
 	"metascope/internal/archive"
 	"metascope/internal/cube"
+	"metascope/internal/obs"
 	"metascope/internal/replay"
 	"metascope/internal/vclock"
 )
 
-func main() {
-	log.SetFlags(0)
-	in := flag.String("in", "archive", "input directory (one subdirectory per metahost)")
-	dir := flag.String("archive", "", "experiment archive directory name, e.g. epik_metatrace (default: autodetect)")
-	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")
-	out := flag.String("o", "", "write the cube report to this file (default: <in>/analysis.cube)")
-	flag.Parse()
-
-	scheme, err := vclock.ParseScheme(*schemeFlag)
-	if err != nil {
-		log.Fatal(err)
+// defaultOutputPath resolves the -o flag: an empty value composes
+// <in>/analysis.cube with filepath.Join so separators are correct on
+// every platform and a trailing slash on -in does not double up.
+func defaultOutputPath(in, out string) string {
+	if out != "" {
+		return out
 	}
+	return filepath.Join(in, "analysis.cube")
+}
 
-	entries, err := os.ReadDir(*in)
+// openArchives mounts every metahost subdirectory under in and
+// autodetects the epik_* archive directory when dir is empty.
+func openArchives(in, dir string) (mounts *archive.Mounts, metahosts []int, archiveDir string, err error) {
+	entries, err := os.ReadDir(in)
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, "", err
 	}
-	mounts := archive.NewMounts()
+	mounts = archive.NewMounts()
 	id := 0
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
 		}
-		fs, err := archive.NewDirFS(filepath.Join(*in, e.Name()))
+		fs, err := archive.NewDirFS(filepath.Join(in, e.Name()))
 		if err != nil {
-			log.Fatal(err)
+			return nil, nil, "", err
 		}
 		mounts.Mount(id, fs)
-		if *dir == "" {
-			names, err := fs.List(".")
-			if err == nil {
+		if dir == "" {
+			if names, err := fs.List("."); err == nil {
 				for _, n := range names {
 					if len(n) > 5 && n[:5] == "epik_" {
-						*dir = n
+						dir = n
 					}
 				}
 			}
@@ -63,24 +66,40 @@ func main() {
 		id++
 	}
 	if id == 0 {
-		log.Fatalf("no metahost subdirectories under %s", *in)
+		return nil, nil, "", fmt.Errorf("no metahost subdirectories under %s", in)
 	}
-	if *dir == "" {
-		log.Fatalf("no epik_* archive found; pass -archive explicitly")
+	if dir == "" {
+		return nil, nil, "", fmt.Errorf("no epik_* archive found under %s; pass -archive explicitly", in)
 	}
-	metahosts := make([]int, id)
+	metahosts = make([]int, id)
 	for i := range metahosts {
 		metahosts[i] = i
 	}
+	return mounts, metahosts, dir, nil
+}
 
-	res, err := replay.AnalyzeArchive(mounts, metahosts, *dir, replay.Config{
+func run(cli *obs.CLIConfig, in, dir, schemeFlag, out string) error {
+	scheme, err := vclock.ParseScheme(schemeFlag)
+	if err != nil {
+		return err
+	}
+	mounts, metahosts, dir, err := openArchives(in, dir)
+	if err != nil {
+		return err
+	}
+	rec := cli.Recorder()
+	rec.Log.Debug("archives mounted", "in", in, "archive", dir, "metahosts", len(metahosts))
+
+	res, err := replay.AnalyzeArchive(mounts, metahosts, dir, replay.Config{
 		Scheme: scheme,
-		Title:  fmt.Sprintf("%s (%v)", *dir, scheme),
+		Title:  fmt.Sprintf("%s (%v)", dir, scheme),
+		Obs:    rec,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
+	span := rec.Phases.Start("render")
 	fmt.Printf("replayed %d messages and %d collective instances\n", res.Messages, res.Collectives)
 	fmt.Printf("clock condition violations: %d\n\n", res.Violations)
 	fmt.Print(cube.RenderFindings(res.Report.Findings(5, 0.5)))
@@ -88,20 +107,60 @@ func main() {
 	fmt.Print(res.FormatCommMatrix())
 	fmt.Println()
 	fmt.Print(res.Report.RenderMetricTree())
+	span.End()
 
-	target := *out
-	if target == "" {
-		target = filepath.Join(*in, "analysis.cube")
-	}
+	target := defaultOutputPath(in, out)
 	f, err := os.Create(target)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := res.Report.Write(f); err != nil {
-		log.Fatal(err)
+		f.Close()
+		return err
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("\nreport written to %s (render with mtprint)\n", target)
+
+	var replayBytes, extBytes int64
+	for _, b := range res.ReplayBytes {
+		replayBytes += b
+	}
+	for _, b := range res.ReplayExternalBytes {
+		extBytes += b
+	}
+	path, err := cli.WritePipelineSummary(obs.PipelineSummary{
+		ReplayBytes:         replayBytes,
+		ReplayExternalBytes: extBytes,
+		Messages:            res.Messages,
+		Collectives:         res.Collectives,
+		Violations:          res.Violations,
+		Repairs:             res.Repairs,
+	})
+	if err != nil {
+		return err
+	}
+	if path != "" {
+		rec.Log.Info("pipeline summary written", "path", path)
+	}
+	return nil
+}
+
+func main() {
+	cli := obs.RegisterCLIFlags("mtanalyze", flag.CommandLine, nil)
+	in := flag.String("in", "archive", "input directory (one subdirectory per metahost)")
+	dir := flag.String("archive", "", "experiment archive directory name, e.g. epik_metatrace (default: autodetect)")
+	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")
+	out := flag.String("o", "", "write the cube report to this file (default: <in>/analysis.cube)")
+	flag.Parse()
+	cli.Start()
+
+	err := run(cli, *in, *dir, *schemeFlag, *out)
+	if ferr := cli.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		obs.Fatal("mtanalyze failed", "err", err)
+	}
 }

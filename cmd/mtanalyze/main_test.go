@@ -1,0 +1,29 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The default -o fallback must compose <in>/analysis.cube with
+// filepath.Join: a bare string concatenation would produce
+// "run1//analysis.cube" for -in values with a trailing slash and break
+// on platforms with a different separator.
+func TestDefaultOutputPath(t *testing.T) {
+	cases := []struct {
+		in, out, want string
+	}{
+		{"run1", "", filepath.Join("run1", "analysis.cube")},
+		{"run1/", "", filepath.Join("run1", "analysis.cube")},
+		{"./run1", "", filepath.Join("run1", "analysis.cube")},
+		{"a/b", "", filepath.Join("a", "b", "analysis.cube")},
+		// An explicit -o wins untouched.
+		{"run1", "custom.cube", "custom.cube"},
+		{"run1", "out/report.cube", "out/report.cube"},
+	}
+	for _, c := range cases {
+		if got := defaultOutputPath(c.in, c.out); got != c.want {
+			t.Errorf("defaultOutputPath(%q, %q) = %q, want %q", c.in, c.out, got, c.want)
+		}
+	}
+}

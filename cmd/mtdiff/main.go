@@ -12,10 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"metascope/internal/cube"
+	"metascope/internal/obs"
 )
 
 func load(path string) (*cube.Report, error) {
@@ -27,29 +27,25 @@ func load(path string) (*cube.Report, error) {
 	return cube.Read(f)
 }
 
-func main() {
-	log.SetFlags(0)
-	op := flag.String("op", "diff", "operation: diff | merge | mean")
-	out := flag.String("o", "", "write the result to this cube file")
-	flag.Parse()
+func run(cli *obs.CLIConfig, op, out string) error {
 	if flag.NArg() < 2 {
-		log.Fatalf("usage: mtdiff [-op diff|merge|mean] [-o out.cube] a.cube b.cube [more.cube ...]")
+		return fmt.Errorf("usage: mtdiff [-op diff|merge|mean] [-o out.cube] a.cube b.cube [more.cube ...]")
 	}
 	reports := make([]*cube.Report, flag.NArg())
 	for i, p := range flag.Args() {
 		r, err := load(p)
 		if err != nil {
-			log.Fatalf("%s: %v", p, err)
+			return fmt.Errorf("%s: %w", p, err)
 		}
 		reports[i] = r
 	}
 
 	var res *cube.Report
 	var err error
-	switch *op {
+	switch op {
 	case "diff":
 		if len(reports) != 2 {
-			log.Fatalf("diff needs exactly two reports")
+			return fmt.Errorf("diff needs exactly two reports")
 		}
 		res = cube.Diff(reports[0], reports[1])
 	case "merge":
@@ -60,12 +56,13 @@ func main() {
 	case "mean":
 		res, err = cube.Mean(reports...)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	default:
-		log.Fatalf("unknown op %q", *op)
+		return fmt.Errorf("unknown op %q", op)
 	}
 
+	span := cli.Recorder().Phases.Start("render")
 	fmt.Printf("result: %s\n\n", res.Title)
 	// For a diff, percentages against "total time" are meaningless;
 	// print per-metric totals instead.
@@ -76,15 +73,36 @@ func main() {
 		}
 		fmt.Printf("  %-55s %+12.3f %s\n", res.Metrics[i].Key, total, res.Metrics[i].Unit)
 	}
-	if *out != "" {
-		f, err := os.Create(*out)
+	span.End()
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := res.Write(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
-		f.Close()
-		fmt.Printf("\nwritten to %s\n", *out)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwritten to %s\n", out)
+	}
+	return nil
+}
+
+func main() {
+	cli := obs.RegisterCLIFlags("mtdiff", flag.CommandLine, nil)
+	op := flag.String("op", "diff", "operation: diff | merge | mean")
+	out := flag.String("o", "", "write the result to this cube file")
+	flag.Parse()
+	cli.Start()
+
+	err := run(cli, *op, *out)
+	if ferr := cli.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		obs.Fatal("mtdiff failed", "err", err)
 	}
 }

@@ -9,21 +9,17 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
-	"os"
 
 	"metascope"
 	"metascope/internal/apps/clockbench"
 	"metascope/internal/experiments"
+	"metascope/internal/obs"
 	"metascope/internal/pattern"
 )
 
-func main() {
-	seed := flag.Int64("seed", 42, "simulation seed (same seed = same numbers)")
-	only := flag.String("only", "", "run a single experiment (table1, table2, fig1, fig3, fig6, fig7, topology, algebra)")
-	flag.Parse()
-
-	run := func(name string) bool { return *only == "" || *only == name }
+func run(cli *obs.CLIConfig, seed int64, only string) error {
+	rec := cli.Recorder()
+	run := func(name string) bool { return only == "" || only == name }
 	did := false
 
 	if run("topology") {
@@ -34,41 +30,41 @@ func main() {
 	}
 	if run("table1") {
 		did = true
-		rs, err := experiments.Table1(*seed, 1000)
+		rs, err := experiments.Table1(seed, 1000)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Print(experiments.FormatTable1(rs))
 		fmt.Println()
 	}
 	if run("fig1") {
 		did = true
-		fmt.Print(experiments.FormatFigure1(experiments.Figure1(*seed, 100, 11)))
+		fmt.Print(experiments.FormatFigure1(experiments.Figure1(seed, 100, 11)))
 		fmt.Println()
 	}
 	if run("table2") {
 		did = true
-		t2, err := experiments.Table2(*seed, clockbench.Default())
+		t2, err := experiments.Table2(seed, clockbench.Default())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Print(experiments.FormatTable2(t2))
 		fmt.Println()
 	}
 	if run("fig3") {
 		did = true
-		rows, lat, err := experiments.Figure3(*seed, clockbench.Default())
+		rows, lat, err := experiments.Figure3(seed, clockbench.Default())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Print(experiments.FormatFigure3(rows, lat))
 		fmt.Println()
 	}
 	if run("fig6") {
 		did = true
-		r, err := experiments.Figure6(*seed)
+		r, err := experiments.Figure6(seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Print(experiments.FormatMetaTrace(
 			"=== Figure 6: MetaTrace on three metahosts (Table 3, Experiment 1) ===", r, true))
@@ -76,9 +72,9 @@ func main() {
 	}
 	if run("fig7") {
 		did = true
-		r, err := experiments.Figure7(*seed)
+		r, err := experiments.Figure7(seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Print(experiments.FormatMetaTrace(
 			"=== Figure 7: MetaTrace on one metahost (Table 3, Experiment 2) ===", r, false))
@@ -86,9 +82,9 @@ func main() {
 	}
 	if run("algebra") {
 		did = true
-		diff, err := experiments.Algebra(*seed)
+		diff, err := experiments.Algebra(seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("=== Cross-experiment algebra: diff(three-metahost, one-metahost) ===")
 		for _, key := range []string{pattern.KeyLateSender, pattern.KeyWaitBarrier, pattern.KeyMPI} {
@@ -99,7 +95,24 @@ func main() {
 		fmt.Println()
 	}
 	if !did {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-		os.Exit(2)
+		return fmt.Errorf("unknown experiment %q", only)
+	}
+	rec.Log.Debug("experiments complete", "only", only)
+	return nil
+}
+
+func main() {
+	cli := obs.RegisterCLIFlags("mtexperiments", flag.CommandLine, nil)
+	seed := flag.Int64("seed", 42, "simulation seed (same seed = same numbers)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, fig1, fig3, fig6, fig7, topology, algebra)")
+	flag.Parse()
+	cli.Start()
+
+	err := run(cli, *seed, *only)
+	if ferr := cli.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		obs.Fatal("mtexperiments failed", "err", err)
 	}
 }

@@ -9,66 +9,82 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 
 	"metascope/internal/cube"
+	"metascope/internal/obs"
 )
 
+func run(cli *obs.CLIConfig, metric, call string, list bool, htmlOut string) error {
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: mtprint [-metric KEY] [-call PATH] report.cube")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	r, err := cube.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if list {
+		for _, m := range r.Metrics {
+			fmt.Printf("%-55s %s\n", m.Key, m.Name)
+		}
+		return nil
+	}
+	span := cli.Recorder().Phases.Start("render")
+	defer span.End()
+	if htmlOut != "" {
+		f, err := os.Create(htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := r.RenderHTML(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("HTML report written to %s\n", htmlOut)
+		return nil
+	}
+	fmt.Printf("report: %s\n\n", r.Title)
+	if metric == "" {
+		fmt.Print(r.RenderMetricTree())
+		return nil
+	}
+	if call == "" {
+		fmt.Print(r.RenderFigure(metric))
+		return nil
+	}
+	c := r.CallByPath(strings.Split(call, "/"))
+	if c < 0 {
+		return fmt.Errorf("call path %q not found", call)
+	}
+	fmt.Print(r.RenderCallTree(metric))
+	fmt.Println()
+	fmt.Print(r.RenderSystemTree(metric, c))
+	return nil
+}
+
 func main() {
-	log.SetFlags(0)
+	cli := obs.RegisterCLIFlags("mtprint", flag.CommandLine, nil)
 	metric := flag.String("metric", "", "metric key to expand (see -list)")
 	call := flag.String("call", "", "call path for the system panel, '/'-separated")
 	list := flag.Bool("list", false, "list available metric keys and exit")
 	htmlOut := flag.String("html", "", "write a self-contained HTML report to this file")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		log.Fatalf("usage: mtprint [-metric KEY] [-call PATH] report.cube")
+	cli.Start()
+
+	err := run(cli, *metric, *call, *list, *htmlOut)
+	if ferr := cli.Flush(); err == nil {
+		err = ferr
 	}
-	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal("mtprint failed", "err", err)
 	}
-	r, err := cube.Read(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *list {
-		for _, m := range r.Metrics {
-			fmt.Printf("%-55s %s\n", m.Key, m.Name)
-		}
-		return
-	}
-	if *htmlOut != "" {
-		f, err := os.Create(*htmlOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := r.RenderHTML(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("HTML report written to %s\n", *htmlOut)
-		return
-	}
-	fmt.Printf("report: %s\n\n", r.Title)
-	if *metric == "" {
-		fmt.Print(r.RenderMetricTree())
-		return
-	}
-	if *call == "" {
-		fmt.Print(r.RenderFigure(*metric))
-		return
-	}
-	c := r.CallByPath(strings.Split(*call, "/"))
-	if c < 0 {
-		log.Fatalf("call path %q not found", *call)
-	}
-	fmt.Print(r.RenderCallTree(*metric))
-	fmt.Println()
-	fmt.Print(r.RenderSystemTree(*metric, c))
 }

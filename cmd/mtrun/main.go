@@ -5,13 +5,14 @@
 //	mtrun -workload metatrace -config exp1 -seed 42 -out ./run1
 //	mtrun -workload clockbench -rounds 300 -out ./run2
 //
-// Analyze the result with mtanalyze.
+// Analyze the result with mtanalyze. With -metrics-out=FILE.json mtrun
+// also writes BENCH_pipeline.json (phase durations) next to the
+// snapshot.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"path/filepath"
 
 	"metascope"
@@ -19,22 +20,14 @@ import (
 	"metascope/internal/apps/metatrace"
 	"metascope/internal/archive"
 	"metascope/internal/measure"
+	"metascope/internal/obs"
 	"metascope/internal/topology"
 )
 
-func main() {
-	log.SetFlags(0)
-	workload := flag.String("workload", "metatrace", "workload: metatrace | clockbench")
-	config := flag.String("config", "exp1", "placement: exp1 (VIOLA, 3 metahosts) | exp2 (IBM, 1 metahost)")
-	seed := flag.Int64("seed", 42, "simulation seed")
-	out := flag.String("out", "archive", "output directory (one subdirectory per metahost)")
-	rounds := flag.Int("rounds", 0, "clockbench rounds override")
-	steps := flag.Int("steps", 0, "metatrace coupling steps override")
-	flag.Parse()
-
+func run(cli *obs.CLIConfig, workload, config string, seed int64, out string, rounds, steps int) error {
 	var topo *topology.Metacomputer
 	var place *topology.Placement
-	switch *config {
+	switch config {
 	case "exp1":
 		topo = metascope.VIOLA()
 		place = metascope.ViolaExperiment1Placement(topo)
@@ -42,52 +35,83 @@ func main() {
 		topo = metascope.IBMPower()
 		place = metascope.IBMExperiment2Placement(topo)
 	default:
-		log.Fatalf("unknown config %q (want exp1|exp2)", *config)
+		return fmt.Errorf("unknown config %q (want exp1|exp2)", config)
 	}
 
-	e := metascope.NewExperiment(*workload, topo, place, *seed)
+	rec := cli.Recorder()
+	e := metascope.NewExperiment(workload, topo, place, seed)
+	e.Obs = rec
 	if err := e.Build(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Replace the in-memory mounts with on-disk archives.
 	mounts := archive.NewMounts()
 	for _, mh := range topo.Metahosts {
-		fs, err := archive.NewDirFS(filepath.Join(*out, mh.Name))
+		fs, err := archive.NewDirFS(filepath.Join(out, mh.Name))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		mounts.Mount(mh.ID, fs)
 	}
 	e.UseMounts(mounts)
 
 	var body func(m *measure.M)
-	switch *workload {
+	switch workload {
 	case "metatrace":
 		params := metatrace.Default(place.N() / 2)
-		if *steps > 0 {
-			params.Steps = *steps
+		if steps > 0 {
+			params.Steps = steps
 		}
 		var err error
 		params, err = metatrace.Setup(e.World(), params)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		body = func(m *measure.M) { metatrace.Body(m, params) }
 	case "clockbench":
 		params := clockbench.Default()
-		if *rounds > 0 {
-			params.Rounds = *rounds
+		if rounds > 0 {
+			params.Rounds = rounds
 		}
 		body = func(m *measure.M) { clockbench.Body(m, params) }
 	default:
-		log.Fatalf("unknown workload %q (want metatrace|clockbench)", *workload)
+		return fmt.Errorf("unknown workload %q (want metatrace|clockbench)", workload)
 	}
 
 	if err := e.Run(body); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("measured %q on %s: %d processes, %.1f s virtual time\n",
-		*workload, topo.Name, place.N(), e.Engine().Now())
-	fmt.Printf("archives written under %s (dir %s)\n", *out, e.ArchiveDir)
-	fmt.Printf("analyze with: mtanalyze -in %s -archive %s -n %d\n", *out, e.ArchiveDir, place.N())
+		workload, topo.Name, place.N(), e.Engine().Now())
+	fmt.Printf("archives written under %s (dir %s)\n", out, e.ArchiveDir)
+	fmt.Printf("analyze with: mtanalyze -in %s -archive %s -n %d\n", out, e.ArchiveDir, place.N())
+
+	path, err := cli.WritePipelineSummary(obs.PipelineSummary{})
+	if err != nil {
+		return err
+	}
+	if path != "" {
+		rec.Log.Info("pipeline summary written", "path", path)
+	}
+	return nil
+}
+
+func main() {
+	cli := obs.RegisterCLIFlags("mtrun", flag.CommandLine, nil)
+	workload := flag.String("workload", "metatrace", "workload: metatrace | clockbench")
+	config := flag.String("config", "exp1", "placement: exp1 (VIOLA, 3 metahosts) | exp2 (IBM, 1 metahost)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	out := flag.String("out", "archive", "output directory (one subdirectory per metahost)")
+	rounds := flag.Int("rounds", 0, "clockbench rounds override")
+	steps := flag.Int("steps", 0, "metatrace coupling steps override")
+	flag.Parse()
+	cli.Start()
+
+	err := run(cli, *workload, *config, *seed, *out, *rounds, *steps)
+	if ferr := cli.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		obs.Fatal("mtrun failed", "err", err)
+	}
 }

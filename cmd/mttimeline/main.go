@@ -12,30 +12,23 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 
 	"metascope/internal/archive"
+	"metascope/internal/obs"
 	"metascope/internal/replay"
 	"metascope/internal/vclock"
 )
 
-func main() {
-	log.SetFlags(0)
-	in := flag.String("in", "archive", "input directory (one subdirectory per metahost)")
-	dir := flag.String("archive", "", "experiment archive directory name (default: autodetect)")
-	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")
-	out := flag.String("o", "timeline.json", "output JSON file")
-	flag.Parse()
-
-	scheme, err := vclock.ParseScheme(*schemeFlag)
+func run(cli *obs.CLIConfig, in, dir, schemeFlag, out string) error {
+	scheme, err := vclock.ParseScheme(schemeFlag)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	entries, err := os.ReadDir(*in)
+	entries, err := os.ReadDir(in)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	mounts := archive.NewMounts()
 	id := 0
@@ -43,47 +36,71 @@ func main() {
 		if !e.IsDir() {
 			continue
 		}
-		fs, err := archive.NewDirFS(filepath.Join(*in, e.Name()))
+		fs, err := archive.NewDirFS(filepath.Join(in, e.Name()))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		mounts.Mount(id, fs)
-		if *dir == "" {
+		if dir == "" {
 			if names, err := fs.List("."); err == nil {
 				for _, n := range names {
 					if len(n) > 5 && n[:5] == "epik_" {
-						*dir = n
+						dir = n
 					}
 				}
 			}
 		}
 		id++
 	}
-	if id == 0 || *dir == "" {
-		log.Fatalf("no metahost archives under %s", *in)
+	if id == 0 || dir == "" {
+		return fmt.Errorf("no metahost archives under %s", in)
 	}
 	metahosts := make([]int, id)
 	for i := range metahosts {
 		metahosts[i] = i
 	}
-	traces, err := replay.LoadArchive(mounts, metahosts, *dir)
+	rec := cli.Recorder()
+	traces, err := replay.LoadArchive(mounts, metahosts, dir)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	f, err := os.Create(*out)
+	f, err := os.Create(out)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := replay.ExportTimeline(f, traces, scheme); err != nil {
-		log.Fatal(err)
+	span := rec.Phases.Start("render")
+	err = replay.ExportTimeline(f, traces, scheme)
+	span.End()
+	if err != nil {
+		f.Close()
+		return err
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	events := 0
 	for _, t := range traces {
 		events += len(t.Events)
 	}
 	fmt.Printf("timeline with %d trace events (%d processes, %v) written to %s\n",
-		events, len(traces), scheme, *out)
+		events, len(traces), scheme, out)
+	return nil
+}
+
+func main() {
+	cli := obs.RegisterCLIFlags("mttimeline", flag.CommandLine, nil)
+	in := flag.String("in", "archive", "input directory (one subdirectory per metahost)")
+	dir := flag.String("archive", "", "experiment archive directory name (default: autodetect)")
+	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")
+	out := flag.String("o", "timeline.json", "output JSON file")
+	flag.Parse()
+	cli.Start()
+
+	err := run(cli, *in, *dir, *schemeFlag, *out)
+	if ferr := cli.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		obs.Fatal("mttimeline failed", "err", err)
+	}
 }

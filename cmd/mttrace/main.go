@@ -8,39 +8,35 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"metascope/internal/obs"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
 
-func main() {
-	log.SetFlags(0)
-	dump := flag.Bool("dump", false, "dump the raw event stream")
-	n := flag.Int("n", 100, "with -dump: maximum number of events (0 = all)")
-	sync := flag.Bool("sync", false, "print the synchronization measurements")
-	flag.Parse()
+func run(cli *obs.CLIConfig, dump bool, n int, sync bool) error {
 	if flag.NArg() == 0 {
-		log.Fatalf("usage: mttrace [-dump [-n N]] [-sync] trace.mscp...")
+		return fmt.Errorf("usage: mttrace [-dump [-n N]] [-sync] trace.mscp...")
 	}
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tr, err := trace.Decode(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("%s: %v", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		if err := tr.Validate(); err != nil {
-			fmt.Printf("WARNING: %v\n", err)
+			cli.Recorder().Log.Warn("trace validation", "path", path, "err", err)
 		}
+		span := cli.Recorder().Phases.Start("render")
 		switch {
-		case *dump:
-			fmt.Print(tr.Dump(*n))
-		case *sync:
+		case dump:
+			fmt.Print(tr.Dump(n))
+		case sync:
 			s := tr.Sync
 			fmt.Printf("trace %s\n", tr.Loc)
 			fmt.Printf("  global master rank %d, local master rank %d, shared node clock %v\n",
@@ -57,8 +53,27 @@ func main() {
 		default:
 			fmt.Print(tr.Stats().Format())
 		}
+		span.End()
 		if flag.NArg() > 1 {
 			fmt.Println()
 		}
+	}
+	return nil
+}
+
+func main() {
+	cli := obs.RegisterCLIFlags("mttrace", flag.CommandLine, nil)
+	dump := flag.Bool("dump", false, "dump the raw event stream")
+	n := flag.Int("n", 100, "with -dump: maximum number of events (0 = all)")
+	sync := flag.Bool("sync", false, "print the synchronization measurements")
+	flag.Parse()
+	cli.Start()
+
+	err := run(cli, *dump, *n, *sync)
+	if ferr := cli.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		obs.Fatal("mttrace failed", "err", err)
 	}
 }

@@ -8,26 +8,29 @@
 // the pairwise exchange and Grid Wait at Barrier in the barrier.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -metrics-out metrics.json   # + phase breakdown
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
 
 	"metascope"
 	"metascope/internal/measure"
+	"metascope/internal/obs"
 	"metascope/internal/topology"
 )
 
-func main() {
+func run(cli *obs.CLIConfig) error {
 	topo := metascope.VIOLA()
 	place := topology.NewPlacement(topo)
 	place.MustPlace(2, 0, 2, 2) // ranks 0-3 on FZJ (fast)
 	place.MustPlace(0, 0, 2, 2) // ranks 4-7 on CAESAR (slow)
 
 	e := metascope.NewExperiment("quickstart", topo, place, 1)
+	e.Obs = cli.Recorder()
 	if err := e.Build(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	const steps = 20
@@ -50,13 +53,14 @@ func main() {
 		m.Exit()
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	res, err := e.Analyze(metascope.Hierarchical)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	span := e.Recorder().Phases.Start("render")
 	fmt.Printf("analyzed %d messages, %d collectives, %d clock-condition violations\n\n",
 		res.Messages, res.Collectives, res.Violations)
 	fmt.Print(res.Report.RenderMetricTree())
@@ -65,4 +69,20 @@ func main() {
 	fmt.Println()
 	hot, _ := res.Report.HottestCall(res.Report.MetricIndex("mpi.synchronization.wait_barrier.grid"))
 	fmt.Print(res.Report.RenderSystemTree("mpi.synchronization.wait_barrier.grid", hot))
+	span.End()
+	return nil
+}
+
+func main() {
+	cli := obs.RegisterCLIFlags("quickstart", flag.CommandLine, nil)
+	flag.Parse()
+	cli.Start()
+
+	err := run(cli)
+	if ferr := cli.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		obs.Fatal("quickstart failed", "err", err)
+	}
 }

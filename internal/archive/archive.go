@@ -31,6 +31,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"metascope/internal/obs"
 )
 
 // FS is the minimal file-system interface the measurement and analysis
@@ -264,28 +267,68 @@ type Comm interface {
 // see dir on its own file system; otherwise every process receives
 // ErrAborted (or the root's creation error).
 func Ensure(c Comm, fs FS, localMaster bool, dir string) error {
+	return EnsureObs(c, fs, localMaster, dir, nil)
+}
+
+// EnsureObs is Ensure reporting protocol-step timings and
+// create/check/abort counters into the recorder (nil selects
+// obs.Default). Counters are per calling process: every rank counts
+// its own visibility checks and abort observations; only ranks that
+// actually attempt a mkdir count creations.
+func EnsureObs(c Comm, fs FS, localMaster bool, dir string, rec *obs.Recorder) error {
+	rec = obs.OrDefault(rec)
+	creates := rec.Reg.Counter("metascope_archive_mkdir_total",
+		"archive directory creation attempts", "outcome")
+	checks := rec.Reg.Counter("metascope_archive_checks_total",
+		"archive visibility checks (Exists probes)")
+	aborts := rec.Reg.Counter("metascope_archive_aborts_total",
+		"processes observing an archive-protocol abort")
+	steps := rec.Reg.Histogram("metascope_archive_step_seconds",
+		"per-process wall time of archive-protocol steps", obs.SecondsBuckets, "step")
+
 	// Step 1: the global master creates the (possibly only) archive.
+	t0 := time.Now()
 	ok := true
 	if c.Rank() == 0 {
 		if err := fs.Mkdir(dir); err != nil && !errors.Is(err, ErrExist) {
 			ok = false
+			creates.With("fail").Inc()
+		} else {
+			creates.With("ok").Inc()
 		}
 	}
-	if !c.BcastBool(0, ok) {
+	bcastOK := c.BcastBool(0, ok)
+	steps.With("create").Observe(time.Since(t0).Seconds())
+	if !bcastOK {
+		aborts.Inc()
 		return fmt.Errorf("archive: global master failed to create %q", dir)
 	}
 	// Step 2: each metahost's local master creates a partial archive if
 	// the global one is not visible here (different file system).
-	if localMaster && !fs.Exists(dir) {
-		// A failure here is detected by the verification step below —
-		// aborting unilaterally would deadlock the collectives.
-		_ = fs.Mkdir(dir)
+	t1 := time.Now()
+	if localMaster {
+		checks.Inc()
+		if !fs.Exists(dir) {
+			// A failure here is detected by the verification step below —
+			// aborting unilaterally would deadlock the collectives.
+			if err := fs.Mkdir(dir); err != nil {
+				creates.With("fail").Inc()
+			} else {
+				creates.With("ok").Inc()
+			}
+		}
 	}
 	// Synchronize before verifying: a slave must not look for the
 	// directory before its local master had the chance to create it.
 	c.AllAnd(true)
+	steps.With("local-create").Observe(time.Since(t1).Seconds())
 	// Step 3: global verification.
-	if !c.AllAnd(fs.Exists(dir)) {
+	t2 := time.Now()
+	checks.Inc()
+	verified := c.AllAnd(fs.Exists(dir))
+	steps.With("verify").Observe(time.Since(t2).Seconds())
+	if !verified {
+		aborts.Inc()
 		return ErrAborted
 	}
 	return nil

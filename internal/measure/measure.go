@@ -15,10 +15,14 @@ package measure
 
 import (
 	"fmt"
+	"io"
 	"sort"
+	"sync"
+	"time"
 
 	"metascope/internal/archive"
 	"metascope/internal/mmpi"
+	"metascope/internal/obs"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
@@ -55,6 +59,9 @@ type Config struct {
 	// still execute and their time is attributed to the enclosing
 	// region; MPI events are never filtered.
 	FilterRegions []string
+	// Obs selects the observability recorder the runtime reports phase
+	// timings and counters into; nil selects obs.Default.
+	Obs *obs.Recorder
 }
 
 func (c *Config) filtered(name string) bool {
@@ -89,6 +96,55 @@ type Runtime struct {
 	reg   *registry
 	ms    []*M
 	err   error
+
+	obs     *obs.Recorder
+	phaseMu sync.Mutex
+	phases  map[string]*phaseWindow
+	order   []string
+}
+
+// phaseWindow tracks the wall-clock window a runtime-internal phase
+// (archive protocol, offset measurement, trace writing) occupies. The
+// simulated ranks interleave on one OS thread, so per-rank wall time
+// would be meaningless; the window from the first rank entering the
+// phase to the last rank leaving it is the cost the phase adds to the
+// whole run.
+type phaseWindow struct {
+	first time.Time
+	last  time.Time
+}
+
+// phaseEnter opens (or extends) the named phase window.
+func (rt *Runtime) phaseEnter(name string) {
+	rt.phaseMu.Lock()
+	defer rt.phaseMu.Unlock()
+	if _, ok := rt.phases[name]; !ok {
+		rt.phases[name] = &phaseWindow{first: time.Now()}
+		rt.order = append(rt.order, name)
+	}
+}
+
+// phaseExit stamps the latest observed end of the named phase.
+func (rt *Runtime) phaseExit(name string) {
+	rt.phaseMu.Lock()
+	defer rt.phaseMu.Unlock()
+	if w, ok := rt.phases[name]; ok {
+		w.last = time.Now()
+	}
+}
+
+// recordPhases folds the phase windows into the recorder's phase
+// breakdown under the "measure" parent, in first-entered order.
+func (rt *Runtime) recordPhases() {
+	rt.phaseMu.Lock()
+	defer rt.phaseMu.Unlock()
+	for _, name := range rt.order {
+		w := rt.phases[name]
+		if w.last.IsZero() {
+			continue
+		}
+		rt.obs.Phases.Record(w.last.Sub(w.first), "measure", name)
+	}
 }
 
 // registry assigns stable region ids across all processes. The
@@ -130,10 +186,12 @@ func Run(w *mmpi.World, cfg Config, body func(m *M)) (*Runtime, error) {
 		cfg.ArchiveDir = "epik_metascope"
 	}
 	rt := &Runtime{
-		cfg:   cfg,
-		world: w,
-		reg:   &registry{byName: make(map[string]trace.RegionID)},
-		ms:    make([]*M, w.N()),
+		cfg:    cfg,
+		world:  w,
+		reg:    &registry{byName: make(map[string]trace.RegionID)},
+		ms:     make([]*M, w.N()),
+		obs:    obs.OrDefault(cfg.Obs),
+		phases: make(map[string]*phaseWindow),
 	}
 	err := w.Run(func(p *mmpi.Proc) {
 		m := newM(rt, p)
@@ -147,6 +205,7 @@ func Run(w *mmpi.World, cfg Config, body func(m *M)) (*Runtime, error) {
 			rt.fail(err)
 		}
 	})
+	rt.recordPhases()
 	if rt.err != nil {
 		return rt, rt.err
 	}
@@ -339,7 +398,10 @@ func (m *M) initialize() error {
 	m.noteComm(m.p.World())
 
 	// Archive protocol.
-	if err := archive.Ensure(&protocolComm{m: m}, m.fs, m.IsLocalMaster(), m.rt.cfg.ArchiveDir); err != nil {
+	m.rt.phaseEnter("archive-protocol")
+	err := archive.EnsureObs(&protocolComm{m: m}, m.fs, m.IsLocalMaster(), m.rt.cfg.ArchiveDir, m.rt.obs)
+	m.rt.phaseExit("archive-protocol")
+	if err != nil {
 		return fmt.Errorf("measure: rank %d: %w", m.p.Rank(), err)
 	}
 
@@ -347,7 +409,9 @@ func (m *M) initialize() error {
 	// the hierarchical variants are measured in the same run so that a
 	// single experiment can be re-analyzed under every synchronization
 	// scheme — the comparison of Table 2.
+	m.rt.phaseEnter("sync")
 	m.measurePhase(true)
+	m.rt.phaseExit("sync")
 	return nil
 }
 
@@ -360,9 +424,11 @@ func (m *M) finalize() error {
 	// Quiesce before the end measurement so ping-pongs do not contend
 	// with application traffic.
 	m.p.World().Barrier()
+	m.rt.phaseEnter("sync")
 	m.measurePhase(false)
 	m.shareNodeMeasurements()
 	m.shareMasterMeasurements()
+	m.rt.phaseExit("sync")
 
 	comms := make([]trace.CommDef, 0, len(m.commDefs))
 	for id, ranks := range m.commDefs {
@@ -384,12 +450,33 @@ func (m *M) finalize() error {
 		Comms:   comms,
 		Events:  m.events,
 	}
+	m.rt.phaseEnter("trace-write")
+	defer m.rt.phaseExit("trace-write")
 	f, err := m.fs.Create(archive.TraceFile(m.rt.cfg.ArchiveDir, m.p.Rank()))
 	if err != nil {
 		return fmt.Errorf("measure: rank %d: creating trace file: %w", m.p.Rank(), err)
 	}
-	if err := t.Encode(f); err != nil {
+	cw := &countingWriter{w: f}
+	if err := t.Encode(cw); err != nil {
 		return fmt.Errorf("measure: rank %d: encoding trace: %w", m.p.Rank(), err)
 	}
+	reg := m.rt.obs.Reg
+	reg.Counter("metascope_measure_events_total", "trace events recorded").Add(float64(len(m.events)))
+	reg.Counter("metascope_measure_traces_written_total", "local trace files written").Inc()
+	reg.Counter("metascope_measure_trace_bytes_total", "encoded trace bytes written").Add(float64(cw.n))
+	reg.Histogram("metascope_measure_trace_bytes", "encoded size of one local trace file",
+		obs.BytesBuckets).Observe(float64(cw.n))
 	return f.Close()
+}
+
+// countingWriter counts the bytes a trace encode produces.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }

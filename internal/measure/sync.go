@@ -3,6 +3,7 @@ package measure
 import (
 	"sort"
 
+	"metascope/internal/obs"
 	"metascope/internal/vclock"
 )
 
@@ -66,6 +67,13 @@ func (m *M) measurePhase(start bool) {
 	m.sync.GlobalMasterRank = 0
 	m.sync.LocalMasterRank = m.localMaster
 
+	phase := "end"
+	if start {
+		phase = "start"
+	}
+	m.rt.obs.Reg.Counter("metascope_sync_rounds_total",
+		"offset-measurement rounds entered, per process", "phase").With(phase).Inc()
+
 	isClockMaster := m.clockMaster(rank) == rank
 
 	// ---- Flat: every node's clock master against world rank 0. ----
@@ -82,7 +90,7 @@ func (m *M) measurePhase(start bool) {
 		}
 		m.serveOffsetSlaves(slaves)
 	} else if isClockMaster && !m.sharesClock(rank, 0) {
-		flat = m.measureOffsetAgainst(0)
+		flat = m.measureOffsetAgainst(0, "flat")
 	}
 	world.Barrier()
 
@@ -102,7 +110,7 @@ func (m *M) measurePhase(start bool) {
 		if m.sharesClock(rank, 0) {
 			master = m.zeroMeasurement()
 		} else {
-			master = m.measureOffsetAgainst(0)
+			master = m.measureOffsetAgainst(0, "master")
 		}
 	}
 	world.Barrier()
@@ -125,7 +133,7 @@ func (m *M) measurePhase(start bool) {
 		local = m.zeroMeasurement()
 		shared = true
 	case isClockMaster:
-		local = m.measureOffsetAgainst(m.localMaster)
+		local = m.measureOffsetAgainst(m.localMaster, "local")
 	default:
 		// Not a clock master: measurements arrive by copy from the
 		// node's clock master in shareNodeMeasurements.
@@ -153,8 +161,10 @@ func (m *M) zeroMeasurement() vclock.Measurement {
 
 // measureOffsetAgainst performs the remote clock reading against
 // masterRank. The master must concurrently run serveOffsetSlaves with
-// this rank in its list.
-func (m *M) measureOffsetAgainst(masterRank int) vclock.Measurement {
+// this rank in its list. kind labels the measurement in the metrics
+// registry: "flat" (slave → global master), "local" (node master →
+// metahost-local master), or "master" (local master → metamaster).
+func (m *M) measureOffsetAgainst(masterRank int, kind string) vclock.Measurement {
 	c := m.p.World()
 	k := m.rt.cfg.pingPongs()
 	// Wait until the master turns to us, so queueing delay at a busy
@@ -178,6 +188,14 @@ func (m *M) measureOffsetAgainst(masterRank int) vclock.Measurement {
 			}
 		}
 	}
+	reg := m.rt.obs.Reg
+	reg.Counter("metascope_sync_pingpongs_total",
+		"offset-measurement ping-pong exchanges", "kind").With(kind).Add(float64(k))
+	reg.Counter("metascope_sync_offset_measurements_total",
+		"remote clock readings completed", "kind").With(kind).Inc()
+	reg.Histogram("metascope_sync_offset_error_seconds",
+		"half-round-trip error bound of the kept clock reading",
+		obs.SecondsBuckets, "kind").With(kind).Observe(best.Err)
 	return best
 }
 

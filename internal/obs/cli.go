@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CLIConfig carries the shared observability flags every metascope
+// command registers: -v (debug logging), -metrics-out (snapshot file,
+// JSON or Prometheus text by extension), and -pprof (live profiling
+// and /metrics endpoint).
+type CLIConfig struct {
+	Tool       string
+	Verbose    bool
+	MetricsOut string
+	PprofAddr  string
+
+	rec *Recorder
+}
+
+// RegisterCLIFlags registers the shared flags on fs (typically
+// flag.CommandLine) for the given recorder (nil selects Default).
+// Call Start after flag parsing and Flush before exiting.
+func RegisterCLIFlags(tool string, fs *flag.FlagSet, rec *Recorder) *CLIConfig {
+	c := &CLIConfig{Tool: tool, rec: OrDefault(rec)}
+	fs.BoolVar(&c.Verbose, "v", false, "verbose (debug-level) logging")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "",
+		"write a metrics snapshot to this file on exit (.json = JSON with phase breakdown, otherwise Prometheus text)")
+	fs.StringVar(&c.PprofAddr, "pprof", "",
+		"serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060)")
+	return c
+}
+
+// Recorder returns the recorder the flags are bound to.
+func (c *CLIConfig) Recorder() *Recorder { return c.rec }
+
+// Start applies the parsed flags: raises the log level and, when
+// -pprof was given, serves the profiling endpoints in the background.
+func (c *CLIConfig) Start() {
+	if c.Verbose {
+		c.rec.Log.SetLevel(LevelDebug)
+	}
+	if c.PprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			c.rec.Reg.WritePrometheus(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(c.PprofAddr, mux); err != nil {
+				c.rec.Log.Error("pprof server failed", "addr", c.PprofAddr, "err", err)
+			}
+		}()
+		c.rec.Log.Info("profiling endpoints up", "addr", c.PprofAddr,
+			"pprof", "/debug/pprof/", "metrics", "/metrics")
+	}
+}
+
+// Flush writes the metrics snapshot selected by -metrics-out: a
+// combined JSON document (phases + metrics) for *.json paths,
+// Prometheus text exposition otherwise. Without -metrics-out it is a
+// no-op.
+func (c *CLIConfig) Flush() error {
+	if c.MetricsOut == "" {
+		return nil
+	}
+	f, err := os.Create(c.MetricsOut)
+	if err != nil {
+		return fmt.Errorf("obs: creating metrics file: %w", err)
+	}
+	if strings.HasSuffix(c.MetricsOut, ".json") {
+		err = c.rec.WriteJSON(f)
+	} else {
+		err = c.rec.Reg.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: writing metrics to %s: %w", c.MetricsOut, err)
+	}
+	c.rec.Log.Debug("metrics snapshot written", "path", c.MetricsOut)
+	return nil
+}
+
+// PipelineSummary is the machine-readable run summary mtrun and
+// mtanalyze emit as BENCH_pipeline.json — the bench trajectory seed
+// for future performance work.
+type PipelineSummary struct {
+	Tool string `json:"tool"`
+	// PhaseSeconds maps '/'-joined phase paths to wall seconds.
+	PhaseSeconds        map[string]float64 `json:"phase_seconds"`
+	ReplayBytes         int64              `json:"replay_bytes,omitempty"`
+	ReplayExternalBytes int64              `json:"replay_external_bytes,omitempty"`
+	Messages            int                `json:"messages,omitempty"`
+	Collectives         int                `json:"collectives,omitempty"`
+	Violations          int                `json:"violations"`
+	Repairs             int                `json:"repairs,omitempty"`
+}
+
+// WritePipelineSummary writes BENCH_pipeline.json next to the
+// -metrics-out file, filling Tool and PhaseSeconds from the recorder.
+// It only fires when -metrics-out ends in .json (the machine-readable
+// mode); otherwise it returns an empty path and no error.
+func (c *CLIConfig) WritePipelineSummary(s PipelineSummary) (string, error) {
+	if !strings.HasSuffix(c.MetricsOut, ".json") {
+		return "", nil
+	}
+	s.Tool = c.Tool
+	if s.PhaseSeconds == nil {
+		s.PhaseSeconds = make(map[string]float64)
+	}
+	for _, ph := range c.rec.Phases.Snapshot() {
+		s.PhaseSeconds[ph.Path] = ph.Seconds
+	}
+	path := filepath.Join(filepath.Dir(c.MetricsOut), "BENCH_pipeline.json")
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("obs: writing pipeline summary: %w", err)
+	}
+	return path, nil
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestCLI(t *testing.T, args ...string) *CLIConfig {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cli := RegisterCLIFlags("testtool", fs, NewRecorder())
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return cli
+}
+
+func TestFlushJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.json")
+	cli := newTestCLI(t, "-metrics-out", out)
+	rec := cli.Recorder()
+	rec.Reg.Counter("x_total", "x").Add(2)
+	rec.Phases.Record(time.Second, "replay")
+	if err := cli.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap.Phases) != 1 || snap.Phases[0].Path != "replay" {
+		t.Errorf("phases = %+v", snap.Phases)
+	}
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Name != "x_total" {
+		t.Errorf("metrics = %+v", snap.Metrics)
+	}
+}
+
+func TestFlushPrometheusText(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.prom")
+	cli := newTestCLI(t, "-metrics-out", out)
+	cli.Recorder().Reg.Gauge("y", "y gauge").Set(4)
+	if err := cli.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# TYPE y gauge\ny 4\n") {
+		t.Errorf("prometheus output = %q", string(data))
+	}
+}
+
+func TestFlushWithoutFlagIsNoop(t *testing.T) {
+	if err := newTestCLI(t).Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerboseRaisesLevel(t *testing.T) {
+	cli := newTestCLI(t, "-v")
+	cli.Start()
+	if got := cli.Recorder().Log.Level(); got != LevelDebug {
+		t.Errorf("level after -v = %v, want debug", got)
+	}
+}
+
+func TestWritePipelineSummary(t *testing.T) {
+	dir := t.TempDir()
+	cli := newTestCLI(t, "-metrics-out", filepath.Join(dir, "m.json"))
+	rec := cli.Recorder()
+	rec.Phases.Record(2*time.Second, "measure")
+	rec.Phases.Record(time.Second, "measure", "sync")
+
+	path, err := cli.WritePipelineSummary(PipelineSummary{
+		ReplayBytes: 1234,
+		Violations:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_pipeline.json"); path != want {
+		t.Errorf("path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s PipelineSummary
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tool != "testtool" || s.ReplayBytes != 1234 || s.Violations != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.PhaseSeconds["measure"] != 2 || s.PhaseSeconds["measure/sync"] != 1 {
+		t.Errorf("phase seconds = %+v", s.PhaseSeconds)
+	}
+}
+
+// Without a .json metrics path the pipeline summary must not fire.
+func TestWritePipelineSummarySkipsTextMode(t *testing.T) {
+	cli := newTestCLI(t, "-metrics-out", filepath.Join(t.TempDir(), "m.prom"))
+	path, err := cli.WritePipelineSummary(PipelineSummary{})
+	if err != nil || path != "" {
+		t.Errorf("got (%q, %v), want no-op", path, err)
+	}
+}

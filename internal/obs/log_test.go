@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoggerFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	l.Info("archives written", "dir", "run1", "metahosts", 3)
+	l.Warn("odd value", "note", "two words", "empty", "", "eq", "a=b")
+	l.Error("trailing key", "orphan")
+
+	got := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	want := []string{
+		`level=info msg="archives written" dir=run1 metahosts=3`,
+		`level=warn msg="odd value" note="two words" empty="" eq="a=b"`,
+		`level=error msg="trailing key" orphan="(MISSING)"`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d lines, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\ngot  %s\nwant %s", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	l.Debug("hidden")
+	if b.Len() != 0 {
+		t.Errorf("debug emitted at info level: %q", b.String())
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("shown")
+	if !strings.Contains(b.String(), "level=debug msg=shown") {
+		t.Errorf("debug missing after SetLevel: %q", b.String())
+	}
+	b.Reset()
+	l.SetLevel(LevelError)
+	l.Info("hidden")
+	l.Warn("hidden")
+	l.Error("shown")
+	if got := b.String(); got != "level=error msg=shown\n" {
+		t.Errorf("error-level output = %q", got)
+	}
+}
+
+func TestLoggerFatalExitsNonZero(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	code := -1
+	l.SetExit(func(c int) { code = c })
+	l.Fatal("boom", "err", "broken")
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if got := b.String(); got != `level=error msg=boom err=broken`+"\n" {
+		t.Errorf("fatal output = %q", got)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lv, want := range map[Level]string{
+		LevelDebug: "debug", LevelInfo: "info", LevelWarn: "warn", LevelError: "error", Level(9): "level(9)",
+	} {
+		if got := lv.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", lv, got, want)
+		}
+	}
+}

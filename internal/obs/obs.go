@@ -1,0 +1,88 @@
+// Package obs is metascope's self-instrumentation layer. The paper's
+// analyzer is itself a parallel program whose replay phase exchanges
+// data over the same wide-area links it diagnoses (§4); this package
+// makes the toolchain report its own runtime behavior the way it asks
+// applications to report theirs.
+//
+// Three dependency-free facilities, bundled by Recorder:
+//
+//   - a concurrency-safe metrics Registry (counters, gauges,
+//     fixed-bucket histograms; labeled families; Prometheus text
+//     exposition and a stable JSON snapshot),
+//   - lightweight phase spans (StartSpan → Span.End) that nest and
+//     aggregate into a per-run phase breakdown (build, measure, sync,
+//     archive, replay, pattern-search, render),
+//   - a leveled structured (key=value) Logger replacing ad-hoc log/fmt
+//     use in the CLIs.
+//
+// Library layers accept an optional *Recorder and fall back to the
+// process-wide Default, so instrumentation is always on but tests can
+// isolate their own recorders.
+package obs
+
+// Recorder bundles the three observability facilities for one run (or
+// for the whole process, in the case of Default).
+type Recorder struct {
+	Reg    *Registry
+	Phases *Phases
+	Log    *Logger
+}
+
+// NewRecorder creates an isolated recorder with an empty registry,
+// empty phase tree, and an Info-level logger writing to stderr.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		Reg:    NewRegistry(),
+		Phases: NewPhases(),
+		Log:    NewLogger(nil),
+	}
+}
+
+// Default is the process-wide recorder used by the package-level
+// helpers and by every layer that is not handed an explicit Recorder.
+var Default = NewRecorder()
+
+// OrDefault resolves an optional recorder: nil selects Default.
+func OrDefault(r *Recorder) *Recorder {
+	if r == nil {
+		return Default
+	}
+	return r
+}
+
+// StartSpan opens a phase span on the Default recorder. Spans nest:
+// a span started while another is open becomes its child in the
+// per-run phase breakdown.
+func StartSpan(name string) *Span { return Default.Phases.Start(name) }
+
+// Package-level logging helpers on the Default recorder's logger.
+
+// Debug logs at debug level on the Default logger.
+func Debug(msg string, kv ...any) { Default.Log.Debug(msg, kv...) }
+
+// Info logs at info level on the Default logger.
+func Info(msg string, kv ...any) { Default.Log.Info(msg, kv...) }
+
+// Warn logs at warn level on the Default logger.
+func Warn(msg string, kv ...any) { Default.Log.Warn(msg, kv...) }
+
+// Error logs at error level on the Default logger.
+func Error(msg string, kv ...any) { Default.Log.Error(msg, kv...) }
+
+// Fatal logs at error level on the Default logger and exits with a
+// non-zero status. The CLIs route every fatal path through here so
+// exit messages share one format.
+func Fatal(msg string, kv ...any) { Default.Log.Fatal(msg, kv...) }
+
+// Shared histogram bucket boundaries, chosen once so the same
+// measurement is comparable across packages and runs.
+var (
+	// BytesBuckets spans 64 B … 64 MiB exponentially; used for replay
+	// communication volumes and trace sizes.
+	BytesBuckets = []float64{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+	// SecondsBuckets spans 1 µs … 10 s; used for protocol step and
+	// phase wall times.
+	SecondsBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+	// DriftBuckets covers residual clock-correction drifts |B−1|.
+	DriftBuckets = []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3}
+)

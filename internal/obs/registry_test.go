@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.With().Value(); got != 3.5 {
+		t.Errorf("counter value = %g, want 3.5", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.With().Value(); got != 5 {
+		t.Errorf("gauge value = %g, want 5", got)
+	}
+	// Re-registration returns the same family.
+	if r.Counter("test_total", "a counter") != c {
+		t.Error("re-registration did not return the existing family")
+	}
+}
+
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops", "kind", "outcome")
+	c.With("read", "ok").Add(3)
+	c.With("read", "fail").Inc()
+	c.With("write", "ok").Add(2)
+	if got := c.With("read", "ok").Value(); got != 3 {
+		t.Errorf("read/ok = %g, want 3", got)
+	}
+	if got := c.With("read", "fail").Value(); got != 1 {
+		t.Errorf("read/fail = %g, want 1", got)
+	}
+}
+
+// Bucket placement must follow Prometheus le semantics: an observation
+// equal to a bound lands in that bound's bucket, anything above the
+// last bound lands only in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{1, 2, 4})
+	s := h.With()
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 4.0, 5.0} {
+		s.Observe(v)
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := s.Value(); got != 14.0 {
+		t.Errorf("sum = %g, want 14", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", snap)
+	}
+	buckets := snap[0].Series[0].Buckets
+	want := []BucketCount{{LE: 1, Count: 2}, {LE: 2, Count: 4}, {LE: 4, Count: 5}}
+	if len(buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", buckets, want)
+	}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, buckets[i], want[i])
+		}
+	}
+	// The +Inf remainder (observation 5.0) is Count − last bucket.
+	if inf := snap[0].Series[0].Count - buckets[len(buckets)-1].Count; inf != 1 {
+		t.Errorf("+Inf remainder = %d, want 1", inf)
+	}
+}
+
+// Golden test for the exposition format: one family of each kind,
+// with and without labels.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "served requests", "code").With("200").Add(3)
+	r.Counter("requests_total", "served requests", "code").With("500").Inc()
+	r.Gauge("temperature", "current temperature").Set(21.5)
+	h := r.Histogram("size_bytes", "payload sizes", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP requests_total served requests
+# TYPE requests_total counter
+requests_total{code="200"} 3
+requests_total{code="500"} 1
+# HELP size_bytes payload sizes
+# TYPE size_bytes histogram
+size_bytes_bucket{le="10"} 1
+size_bytes_bucket{le="100"} 2
+size_bytes_bucket{le="+Inf"} 3
+size_bytes_sum 555
+size_bytes_count 3
+# HELP temperature current temperature
+# TYPE temperature gauge
+temperature 21.5
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+var (
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?Inf|[+-]?[0-9].*)$`)
+)
+
+// checkPrometheusLines validates every line of an exposition document
+// against the 0.0.4 text format grammar (comments and samples).
+func checkPrometheusLines(t *testing.T, text string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty exposition")
+	}
+	for i, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Errorf("line %d: malformed comment: %q", i+1, line)
+			}
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("line %d: malformed sample: %q", i+1, line)
+		}
+	}
+}
+
+func TestPrometheusParsesLineByLine(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a", "x", "y").With("1", "two words").Add(4)
+	r.Gauge("b", "b gauge").Set(-2.25)
+	r.Histogram("c_seconds", "c", []float64{0.001, 0.1, 10}, "op").With("put").Observe(0.05)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkPrometheusLines(t, b.String())
+}
+
+// Concurrent increments and observations must neither race (run with
+// -race) nor lose updates.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "concurrent counter", "worker")
+	h := r.Histogram("conc_seconds", "concurrent histogram", []float64{0.5})
+	g := r.Gauge("conc_gauge", "concurrent gauge")
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.With(label).Inc()
+				h.Observe(float64(i%2) * 1.0)
+				g.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for w := 0; w < workers; w++ {
+		total += c.With(string(rune('a' + w))).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("counter total = %g, want %d", total, workers*iters)
+	}
+	if got := h.With().Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := g.With().Value(); got != workers*iters {
+		t.Errorf("gauge = %g, want %d", got, workers*iters)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestRegistryMisusePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "m")
+	mustPanic(t, "kind mismatch", func() { r.Gauge("m_total", "m") })
+	mustPanic(t, "label mismatch", func() { r.Counter("m_total", "m", "extra") })
+	mustPanic(t, "invalid name", func() { r.Counter("bad name", "m") })
+	mustPanic(t, "negative counter", func() { r.Counter("m_total", "m").Add(-1) })
+	mustPanic(t, "wrong label count", func() { r.Counter("l_total", "l", "a").With() })
+	mustPanic(t, "set on counter", func() { r.Counter("m_total", "m").With().Set(1) })
+	mustPanic(t, "observe on gauge", func() { r.Gauge("g2", "g").With().Observe(1) })
+	mustPanic(t, "non-increasing buckets", func() { r.Histogram("h2", "h", []float64{1, 1}) })
+}

@@ -29,6 +29,7 @@ import (
 
 	"metascope/internal/archive"
 	"metascope/internal/cube"
+	"metascope/internal/obs"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
@@ -56,6 +57,10 @@ type Config struct {
 	// RepairMu is the minimal message latency enforced by a repair
 	// (the µ of the controlled logical clock). Zero selects 1 ns.
 	RepairMu float64
+	// Obs selects the observability recorder the analysis reports its
+	// own runtime behavior into (phase spans, replay-traffic
+	// histograms, progress gauges); nil selects obs.Default.
+	Obs *obs.Recorder
 }
 
 // Result is the outcome of one analysis.
@@ -219,7 +224,11 @@ func mergeComms(traces []*trace.Trace) (map[int32][]int32, error) {
 }
 
 // Analyze runs the parallel replay over a complete set of local traces
-// and produces the analysis report.
+// and produces the analysis report. Its own runtime behavior — the
+// sync, replay, and pattern-search phase durations, replayed events
+// per second, per-rank replay traffic (total and the external-link
+// subset), and clock-violation/repair counts — is reported into
+// cfg.Obs (or obs.Default).
 func Analyze(traces []*trace.Trace, cfg Config) (*Result, error) {
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("replay: no traces")
@@ -235,23 +244,100 @@ func Analyze(traces []*trace.Trace, cfg Config) (*Result, error) {
 	if cfg.Title == "" {
 		cfg.Title = fmt.Sprintf("experiment (%d processes, %v)", len(traces), cfg.Scheme)
 	}
+	rec := obs.OrDefault(cfg.Obs)
+	m := newReplayMetrics(rec)
+
+	syncSpan := rec.Phases.Start("sync")
 	corr, err := BuildCorrections(traces, cfg.Scheme)
+	syncSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	vclock.ObserveCorrections(rec, cfg.Scheme, corr)
+
 	comms, err := mergeComms(traces)
 	if err != nil {
 		return nil, err
 	}
 	a := newAnalyzer(traces, corr, comms, cfg)
+	a.metrics = m
+
+	events := 0
+	for _, t := range traces {
+		events += len(t.Events)
+	}
+	replaySpan := rec.Phases.Start("replay")
 	a.run()
-	return a.result()
+	replayDur := replaySpan.End()
+
+	patternSpan := rec.Phases.Start("pattern-search")
+	res, rerr := a.result()
+	patternSpan.End()
+	if rerr != nil {
+		return nil, rerr
+	}
+
+	m.events.Add(float64(events))
+	if s := replayDur.Seconds(); s > 0 {
+		m.eventsPerSec.Set(float64(events) / s)
+	}
+	m.messages.Add(float64(res.Messages))
+	m.collectives.Add(float64(res.Collectives))
+	m.violations.Add(float64(res.Violations))
+	m.repairs.Add(float64(res.Repairs))
+	for i := range res.ReplayBytes {
+		m.rankBytes.Observe(float64(res.ReplayBytes[i]))
+		m.rankExternal.Observe(float64(res.ReplayExternalBytes[i]))
+	}
+	rec.Log.Debug("replay analysis complete",
+		"processes", len(traces), "events", events, "messages", res.Messages,
+		"collectives", res.Collectives, "violations", res.Violations,
+		"repairs", res.Repairs, "replay_seconds", replayDur.Seconds())
+	return res, nil
+}
+
+// replayMetrics pre-registers every replay metric family, so a
+// snapshot taken after analysis always contains the complete set —
+// including zero-valued repair and violation counters.
+type replayMetrics struct {
+	events, messages, collectives, violations, repairs *obs.Series
+	eventsPerSec, workersActive, ranksDone             *obs.Series
+	rankBytes, rankExternal                            *obs.Series
+}
+
+func newReplayMetrics(rec *obs.Recorder) *replayMetrics {
+	r := rec.Reg
+	return &replayMetrics{
+		events: r.Counter("metascope_replay_events_total",
+			"trace events swept during replay analysis").With(),
+		messages: r.Counter("metascope_replay_messages_total",
+			"point-to-point messages matched during replay").With(),
+		collectives: r.Counter("metascope_replay_collectives_total",
+			"collective instances replayed").With(),
+		violations: r.Counter("metascope_replay_violations_total",
+			"clock-condition violations detected").With(),
+		repairs: r.Counter("metascope_replay_repairs_total",
+			"timestamp repairs applied (controlled logical clock)").With(),
+		eventsPerSec: r.Gauge("metascope_replay_events_per_second",
+			"trace events replayed per wall second, last analysis").With(),
+		workersActive: r.Gauge("metascope_replay_workers_active",
+			"analysis goroutines currently replaying").With(),
+		ranksDone: r.Gauge("metascope_replay_ranks_done",
+			"analysis processes finished, last analysis").With(),
+		rankBytes: r.Histogram("metascope_replay_rank_bytes",
+			"per-rank analysis-time communication volume", obs.BytesBuckets).With(),
+		rankExternal: r.Histogram("metascope_replay_rank_external_bytes",
+			"per-rank analysis-time traffic crossing metahost boundaries", obs.BytesBuckets).With(),
+	}
 }
 
 // AnalyzeArchive is the end-to-end convenience path: load the archive
-// from the mounts and analyze it.
+// from the mounts and analyze it. Archive loading is timed as the
+// top-level "archive" phase.
 func AnalyzeArchive(mounts *archive.Mounts, metahosts []int, dir string, cfg Config) (*Result, error) {
+	span := obs.OrDefault(cfg.Obs).Phases.Start("archive")
 	traces, err := LoadArchive(mounts, metahosts, dir)
+	span.End()
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"metascope/internal/obs"
 	"metascope/internal/pattern"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
@@ -208,6 +209,10 @@ type analyzer struct {
 
 	results []*rankResult
 	corrs   []vclock.Correction
+
+	// metrics is the pre-registered replay metric set; worker progress
+	// gauges are updated live while the replay runs.
+	metrics *replayMetrics
 }
 
 func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int32][]int32, cfg Config) *analyzer {
@@ -232,14 +237,23 @@ func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int3
 
 // run executes the replay with one goroutine per rank — the parallel
 // analysis of §4, which on the metacomputer itself would run on the
-// same processors as the application.
+// same processors as the application. Worker progress is visible live
+// through the workers-active and ranks-done gauges (scrape them via
+// -pprof's /metrics endpoint during a long analysis).
 func (a *analyzer) run() {
+	if a.metrics == nil {
+		a.metrics = newReplayMetrics(obs.OrDefault(a.cfg.Obs))
+	}
+	a.metrics.ranksDone.Set(0)
 	var wg sync.WaitGroup
 	for rank := range a.traces {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			a.metrics.workersActive.Add(1)
 			a.results[rank] = a.replayRank(rank)
+			a.metrics.workersActive.Add(-1)
+			a.metrics.ranksDone.Add(1)
 		}(rank)
 	}
 	wg.Wait()

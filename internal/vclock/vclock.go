@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 
+	"metascope/internal/obs"
 	"metascope/internal/sim"
 	"metascope/internal/topology"
 )
@@ -217,6 +218,34 @@ func BuildHierarchical(inputs []HierarchicalInput) []Correction {
 		out[i] = Correction{Rank: in.Rank, Map: toMeta.Compose(toLocal)}
 	}
 	return out
+}
+
+// ObserveCorrections records residual-drift statistics of a built
+// correction set: the drift magnitude |B−1| of every per-rank
+// correction map as a histogram, the largest one as a gauge, and the
+// number of corrections built as a counter, all labeled by scheme. A
+// large residual drift means the scheme had to stretch local time
+// noticeably to meet the master time base — the effect Table 2's
+// violation counts trace back to.
+func ObserveCorrections(rec *obs.Recorder, scheme Scheme, corrs []Correction) {
+	rec = obs.OrDefault(rec)
+	s := scheme.String()
+	hist := rec.Reg.Histogram("metascope_sync_residual_drift",
+		"per-rank clock-correction drift magnitude |B-1|", obs.DriftBuckets, "scheme").With(s)
+	maxG := rec.Reg.Gauge("metascope_sync_residual_drift_max",
+		"largest per-rank clock-correction drift magnitude |B-1|", "scheme").With(s)
+	built := rec.Reg.Counter("metascope_sync_corrections_total",
+		"per-rank clock corrections built", "scheme").With(s)
+	max := 0.0
+	for _, c := range corrs {
+		d := math.Abs(c.Map.B - 1)
+		hist.Observe(d)
+		if d > max {
+			max = d
+		}
+	}
+	maxG.Set(max)
+	built.Add(float64(len(corrs)))
 }
 
 // Set holds the generated clocks of a metacomputer, one per SMP node

@@ -29,6 +29,7 @@ import (
 	"metascope/internal/archive"
 	"metascope/internal/measure"
 	"metascope/internal/mmpi"
+	"metascope/internal/obs"
 	"metascope/internal/replay"
 	"metascope/internal/sim"
 	"metascope/internal/topology"
@@ -86,6 +87,9 @@ type Experiment struct {
 	// the message-passing layer (negative disables asymmetry; zero
 	// keeps the default). Used by the calibration ablations.
 	AsymFrac float64
+	// Obs receives metrics, phase timings, and logs for this
+	// experiment; nil uses the process-wide obs.Default recorder.
+	Obs *obs.Recorder
 
 	eng    *sim.Engine
 	clocks *vclock.Set
@@ -108,12 +112,17 @@ func NewExperiment(title string, topo *topology.Metacomputer, place *topology.Pl
 	}
 }
 
+// Recorder returns the experiment's observability recorder,
+// falling back to obs.Default when none was set.
+func (e *Experiment) Recorder() *obs.Recorder { return obs.OrDefault(e.Obs) }
+
 // Build validates the configuration and instantiates the simulation
 // engine, virtual clocks, file systems, and the MPI world.
 func (e *Experiment) Build() error {
 	if e.built {
 		return fmt.Errorf("metascope: experiment %q already built", e.Title)
 	}
+	defer e.Recorder().Phases.Start("build").End()
 	if err := e.Topo.Validate(); err != nil {
 		return err
 	}
@@ -183,13 +192,23 @@ func (e *Experiment) Run(body func(m *measure.M)) error {
 		return fmt.Errorf("metascope: experiment %q already ran", e.Title)
 	}
 	e.ran = true
+	rec := e.Recorder()
+	span := rec.Phases.Start("measure")
 	cfg := measure.Config{
 		ArchiveDir: e.ArchiveDir,
 		Mounts:     e.mounts,
 		Clocks:     e.clocks,
 		PingPongs:  e.PingPongs,
+		Obs:        rec,
 	}
 	_, err := measure.Run(e.world, cfg, body)
+	d := span.End()
+	if err != nil {
+		rec.Log.Error("measurement failed", "experiment", e.Title, "err", err)
+	} else {
+		rec.Log.Debug("measurement complete", "experiment", e.Title,
+			"ranks", e.Place.N(), "seconds", fmt.Sprintf("%.3f", d.Seconds()))
+	}
 	return err
 }
 
@@ -219,6 +238,9 @@ func (e *Experiment) AnalyzeConfig(cfg replay.Config) (*replay.Result, error) {
 	}
 	if cfg.Title == "" {
 		cfg.Title = fmt.Sprintf("%s (%v)", e.Title, cfg.Scheme)
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = e.Obs
 	}
 	return replay.AnalyzeArchive(e.mounts, e.Place.MetahostsUsed(), e.ArchiveDir, cfg)
 }

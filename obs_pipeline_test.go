@@ -1,0 +1,200 @@
+package metascope_test
+
+// End-to-end observability: a quickstart-shaped experiment with an
+// isolated recorder must leave a complete self-instrumentation trail —
+// per-phase durations for every pipeline stage, replay communication
+// histograms (total and external subset), clock-repair counters, and a
+// Prometheus exposition that parses line by line.
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+
+	"metascope"
+	"metascope/internal/measure"
+	"metascope/internal/obs"
+	"metascope/internal/topology"
+)
+
+func runInstrumentedPipeline(t *testing.T, rec *obs.Recorder) *metascope.Experiment {
+	t.Helper()
+	topo := metascope.VIOLA()
+	place := topology.NewPlacement(topo)
+	place.MustPlace(2, 0, 2, 2)
+	place.MustPlace(0, 0, 2, 2)
+
+	e := metascope.NewExperiment("obs-pipeline", topo, place, 7)
+	e.Obs = rec
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Run(func(m *measure.M) {
+		c := m.World()
+		peer := (c.Rank() + c.Size()/2) % c.Size()
+		m.Enter("main")
+		for s := 0; s < 5; s++ {
+			m.Compute("", 0.01)
+			c.Sendrecv(peer, 1, 4<<10, peer, 1)
+			c.Barrier()
+		}
+		m.Exit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Analyze(metascope.Hierarchical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := rec.Phases.Start("render")
+	_ = res.Report.RenderMetricTree()
+	span.End()
+	return e
+}
+
+func TestObservabilityPipelineSnapshot(t *testing.T) {
+	rec := obs.NewRecorder()
+	runInstrumentedPipeline(t, rec)
+
+	var buf strings.Builder
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(buf.String()), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+
+	phases := map[string]obs.PhaseSnapshot{}
+	for _, p := range snap.Phases {
+		phases[p.Path] = p
+	}
+	for _, path := range []string{
+		"build", "measure", "measure/archive-protocol", "measure/sync",
+		"measure/trace-write", "archive", "sync", "replay", "pattern-search", "render",
+	} {
+		p, ok := phases[path]
+		if !ok {
+			t.Errorf("phase %q missing from snapshot (have %v)", path, keysOf(phases))
+			continue
+		}
+		if p.Count < 1 || p.Seconds < 0 {
+			t.Errorf("phase %q has count=%d seconds=%g", path, p.Count, p.Seconds)
+		}
+	}
+
+	metrics := map[string]obs.FamilySnapshot{}
+	for _, m := range snap.Metrics {
+		metrics[m.Name] = m
+	}
+	// Replay byte histograms: one observation per rank, external ≤ total.
+	total, ok := metrics["metascope_replay_rank_bytes"]
+	if !ok || len(total.Series) != 1 {
+		t.Fatalf("metascope_replay_rank_bytes missing or malformed: %+v", total)
+	}
+	ext, ok := metrics["metascope_replay_rank_external_bytes"]
+	if !ok || len(ext.Series) != 1 {
+		t.Fatalf("metascope_replay_rank_external_bytes missing or malformed: %+v", ext)
+	}
+	if got := total.Series[0].Count; got != 8 {
+		t.Errorf("rank bytes observations = %d, want 8 (one per rank)", got)
+	}
+	if ext.Series[0].Count != 8 {
+		t.Errorf("external bytes observations = %d, want 8", ext.Series[0].Count)
+	}
+	if ext.Series[0].Value > total.Series[0].Value {
+		t.Errorf("external bytes %g exceed total %g", ext.Series[0].Value, total.Series[0].Value)
+	}
+	if total.Series[0].Value <= 0 {
+		t.Errorf("replay moved no bytes: %g", total.Series[0].Value)
+	}
+
+	// Clock-repair counters are present even when zero (repair is off).
+	repairs, ok := metrics["metascope_replay_repairs_total"]
+	if !ok {
+		t.Fatal("metascope_replay_repairs_total missing")
+	}
+	if len(repairs.Series) != 1 || repairs.Series[0].Value != 0 {
+		t.Errorf("repairs = %+v, want one zero series", repairs.Series)
+	}
+	if _, ok := metrics["metascope_replay_violations_total"]; !ok {
+		t.Error("metascope_replay_violations_total missing")
+	}
+	// Sync instrumentation from the measurement side.
+	if _, ok := metrics["metascope_sync_offset_measurements_total"]; !ok {
+		t.Error("metascope_sync_offset_measurements_total missing")
+	}
+	if _, ok := metrics["metascope_sync_residual_drift"]; !ok {
+		t.Error("metascope_sync_residual_drift missing")
+	}
+}
+
+func keysOf(m map[string]obs.PhaseSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+var (
+	promCommentRe = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	promSampleRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?Inf|[+-]?[0-9].*)$`)
+)
+
+func TestObservabilityPipelinePrometheus(t *testing.T) {
+	rec := obs.NewRecorder()
+	runInstrumentedPipeline(t, rec)
+
+	var buf strings.Builder
+	if err := rec.Reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "# TYPE metascope_replay_rank_bytes histogram") {
+		t.Error("replay byte histogram missing from exposition")
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) < 20 {
+		t.Fatalf("suspiciously short exposition (%d lines)", len(lines))
+	}
+	for i, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			if !promCommentRe.MatchString(line) {
+				t.Errorf("line %d: malformed comment: %q", i+1, line)
+			}
+		} else if !promSampleRe.MatchString(line) {
+			t.Errorf("line %d: malformed sample: %q", i+1, line)
+		}
+	}
+}
+
+// Two identical runs on isolated recorders must produce identical
+// metric values for everything derived from the simulation. Only the
+// families measuring real wall clock (protocol step timings, replay
+// throughput) may differ between runs.
+func TestObservabilityDeterministicCounters(t *testing.T) {
+	wallClock := map[string]bool{
+		"metascope_archive_step_seconds":     true,
+		"metascope_replay_events_per_second": true,
+	}
+	simOnly := func(snap []obs.FamilySnapshot) []obs.FamilySnapshot {
+		out := snap[:0]
+		for _, f := range snap {
+			if !wallClock[f.Name] {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	a, b := obs.NewRecorder(), obs.NewRecorder()
+	runInstrumentedPipeline(t, a)
+	runInstrumentedPipeline(t, b)
+	aj, _ := json.Marshal(simOnly(a.Reg.Snapshot()))
+	bj, _ := json.Marshal(simOnly(b.Reg.Snapshot()))
+	if string(aj) != string(bj) {
+		t.Errorf("metric snapshots differ between identical runs:\nA: %s\nB: %s", aj, bj)
+	}
+}

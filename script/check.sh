@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 gate: everything must pass before a change lands.
+#
+#	./script/check.sh        # or: make check
+#
+# Runs vet, a full build, and the test suite with the race detector —
+# the obs registry and the parallel replay analyzer are exercised from
+# many goroutines, so -race is part of the gate, not an extra.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: all green"
