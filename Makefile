@@ -1,8 +1,8 @@
 # Convenience entry points; see script/check.sh for the tier-1 gate.
 
-.PHONY: check build test race vet
+.PHONY: check build test race vet bench
 
-check: ## vet + build + race-enabled tests (tier-1 gate)
+check: ## gofmt + vet + build + race-enabled tests (tier-1 gate)
 	./script/check.sh
 
 build:
@@ -16,3 +16,9 @@ race:
 
 vet:
 	go vet ./...
+
+bench: ## replay benchmarks, machine-readable results in BENCH_replay.json
+	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkScalabilityAnalysis' \
+		-benchmem -json . > BENCH_replay.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_replay.json | sed 's/"Output":"//' || true
+	@echo "bench results written to BENCH_replay.json"

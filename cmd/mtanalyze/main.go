@@ -36,54 +36,12 @@ func defaultOutputPath(in, out string) string {
 	return filepath.Join(in, "analysis.cube")
 }
 
-// openArchives mounts every metahost subdirectory under in and
-// autodetects the epik_* archive directory when dir is empty.
-func openArchives(in, dir string) (mounts *archive.Mounts, metahosts []int, archiveDir string, err error) {
-	entries, err := os.ReadDir(in)
-	if err != nil {
-		return nil, nil, "", err
-	}
-	mounts = archive.NewMounts()
-	id := 0
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		fs, err := archive.NewDirFS(filepath.Join(in, e.Name()))
-		if err != nil {
-			return nil, nil, "", err
-		}
-		mounts.Mount(id, fs)
-		if dir == "" {
-			if names, err := fs.List("."); err == nil {
-				for _, n := range names {
-					if len(n) > 5 && n[:5] == "epik_" {
-						dir = n
-					}
-				}
-			}
-		}
-		id++
-	}
-	if id == 0 {
-		return nil, nil, "", fmt.Errorf("no metahost subdirectories under %s", in)
-	}
-	if dir == "" {
-		return nil, nil, "", fmt.Errorf("no epik_* archive found under %s; pass -archive explicitly", in)
-	}
-	metahosts = make([]int, id)
-	for i := range metahosts {
-		metahosts[i] = i
-	}
-	return mounts, metahosts, dir, nil
-}
-
-func run(cli *obs.CLIConfig, in, dir, schemeFlag, out string) error {
+func run(cli *obs.CLIConfig, in, dir, schemeFlag, out, profileOut string, profileBuckets int) error {
 	scheme, err := vclock.ParseScheme(schemeFlag)
 	if err != nil {
 		return err
 	}
-	mounts, metahosts, dir, err := openArchives(in, dir)
+	mounts, metahosts, dir, err := archive.MountTree(in, dir)
 	if err != nil {
 		return err
 	}
@@ -91,9 +49,10 @@ func run(cli *obs.CLIConfig, in, dir, schemeFlag, out string) error {
 	rec.Log.Debug("archives mounted", "in", in, "archive", dir, "metahosts", len(metahosts))
 
 	res, err := replay.AnalyzeArchive(mounts, metahosts, dir, replay.Config{
-		Scheme: scheme,
-		Title:  fmt.Sprintf("%s (%v)", dir, scheme),
-		Obs:    rec,
+		Scheme:         scheme,
+		Title:          fmt.Sprintf("%s (%v)", dir, scheme),
+		Obs:            rec,
+		ProfileBuckets: profileBuckets,
 	})
 	if err != nil {
 		return err
@@ -122,6 +81,14 @@ func run(cli *obs.CLIConfig, in, dir, schemeFlag, out string) error {
 		return err
 	}
 	fmt.Printf("\nreport written to %s (render with mtprint)\n", target)
+
+	if profileOut != "" {
+		if err := res.Profile.WriteFile(profileOut); err != nil {
+			return err
+		}
+		fmt.Printf("time-resolved profile (%d series, %d buckets of %.3gs) written to %s\n",
+			len(res.Profile.Series), res.Profile.Buckets, res.Profile.BucketWidth, profileOut)
+	}
 
 	var replayBytes, extBytes int64
 	for _, b := range res.ReplayBytes {
@@ -153,10 +120,12 @@ func main() {
 	dir := flag.String("archive", "", "experiment archive directory name, e.g. epik_metatrace (default: autodetect)")
 	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")
 	out := flag.String("o", "", "write the cube report to this file (default: <in>/analysis.cube)")
+	profileOut := flag.String("profile-out", "", "write the time-resolved severity profile to this file (.csv for CSV, JSON otherwise)")
+	profileBuckets := flag.Int("profile-buckets", 0, "bucket count of the time-resolved profile (default 64)")
 	flag.Parse()
 	cli.Start()
 
-	err := run(cli, *in, *dir, *schemeFlag, *out)
+	err := run(cli, *in, *dir, *schemeFlag, *out, *profileOut, *profileBuckets)
 	if ferr := cli.Flush(); err == nil {
 		err = ferr
 	}

@@ -7,15 +7,22 @@
 //
 // The result is printed as a metric tree and optionally written with
 // -o for further inspection with mtprint.
+//
+// With -profile it instead compares two time-resolved severity
+// profiles (mtanalyze -profile-out) interval by interval:
+//
+//	mtdiff -profile a-profile.json b-profile.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"metascope/internal/cube"
 	"metascope/internal/obs"
+	"metascope/internal/profile"
 )
 
 func load(path string) (*cube.Report, error) {
@@ -25,6 +32,57 @@ func load(path string) (*cube.Report, error) {
 	}
 	defer f.Close()
 	return cube.Read(f)
+}
+
+// runProfile compares two profile artifacts interval by interval and
+// prints, per series, the total difference and the single interval
+// where the runs diverge most — the time-resolved answer to "where did
+// run b get slower".
+func runProfile(out string) error {
+	if flag.NArg() != 2 {
+		return fmt.Errorf("usage: mtdiff -profile [-o out.json] a-profile.json b-profile.json")
+	}
+	a, err := profile.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := profile.ReadFile(flag.Arg(1))
+	if err != nil {
+		return err
+	}
+	d, err := profile.Diff(a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profile diff: %s\n", d.Title)
+	fmt.Printf("%d buckets of %gs from t=%gs\n\n", d.Buckets, d.BucketWidth, d.Origin)
+	fmt.Printf("  %-45s %-12s %4s %12s %18s\n", "metric", "metahost", "rank", "total Δ", "max |Δ| interval")
+	for _, s := range d.Series {
+		total, maxAbs, maxIdx := 0.0, 0.0, 0
+		for i, v := range s.Values {
+			total += v
+			if math.Abs(v) > maxAbs {
+				maxAbs, maxIdx = math.Abs(v), i
+			}
+		}
+		if total == 0 && maxAbs == 0 {
+			continue
+		}
+		mh := s.MetahostName
+		if mh == "" {
+			mh = fmt.Sprintf("%d", s.Metahost)
+		}
+		left := d.Origin + float64(maxIdx)*d.BucketWidth
+		fmt.Printf("  %-45s %-12s %4d %+12.4g %+9.4g @ [%.4g, %.4g)s\n",
+			s.Metric, mh, s.Rank, total, s.Values[maxIdx], left, left+d.BucketWidth)
+	}
+	if out != "" {
+		if err := d.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("\ndiff profile written to %s\n", out)
+	}
+	return nil
 }
 
 func run(cli *obs.CLIConfig, op, out string) error {
@@ -95,10 +153,16 @@ func main() {
 	cli := obs.RegisterCLIFlags("mtdiff", flag.CommandLine, nil)
 	op := flag.String("op", "diff", "operation: diff | merge | mean")
 	out := flag.String("o", "", "write the result to this cube file")
+	prof := flag.Bool("profile", false, "compare two time-resolved profile artifacts (mtanalyze -profile-out) instead of cube files")
 	flag.Parse()
 	cli.Start()
 
-	err := run(cli, *op, *out)
+	var err error
+	if *prof {
+		err = runProfile(*out)
+	} else {
+		err = run(cli, *op, *out)
+	}
 	if ferr := cli.Flush(); err == nil {
 		err = ferr
 	}

@@ -4,6 +4,11 @@
 //	mtprint report.cube                         # metric tree
 //	mtprint -metric mpi.synchronization.wait_barrier.grid report.cube
 //	mtprint -metric ... -call main/cgiteration report.cube
+//	mtprint -html report.html -profile p.json report.cube
+//
+// The cube file does not embed the time-resolved profile; -profile
+// re-attaches the artifact written by mtanalyze -profile-out so the
+// HTML report includes the severity heatmaps.
 package main
 
 import (
@@ -14,9 +19,10 @@ import (
 
 	"metascope/internal/cube"
 	"metascope/internal/obs"
+	"metascope/internal/profile"
 )
 
-func run(cli *obs.CLIConfig, metric, call string, list bool, htmlOut string) error {
+func run(cli *obs.CLIConfig, metric, call string, list bool, htmlOut, profileIn string) error {
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: mtprint [-metric KEY] [-call PATH] report.cube")
 	}
@@ -28,6 +34,11 @@ func run(cli *obs.CLIConfig, metric, call string, list bool, htmlOut string) err
 	f.Close()
 	if err != nil {
 		return err
+	}
+	if profileIn != "" {
+		if r.Profile, err = profile.ReadFile(profileIn); err != nil {
+			return err
+		}
 	}
 	if list {
 		for _, m := range r.Metrics {
@@ -77,10 +88,11 @@ func main() {
 	call := flag.String("call", "", "call path for the system panel, '/'-separated")
 	list := flag.Bool("list", false, "list available metric keys and exit")
 	htmlOut := flag.String("html", "", "write a self-contained HTML report to this file")
+	profileIn := flag.String("profile", "", "attach a time-resolved profile artifact (mtanalyze -profile-out) for the HTML heatmaps")
 	flag.Parse()
 	cli.Start()
 
-	err := run(cli, *metric, *call, *list, *htmlOut)
+	err := run(cli, *metric, *call, *list, *htmlOut, *profileIn)
 	if ferr := cli.Flush(); err == nil {
 		err = ferr
 	}

@@ -13,63 +13,49 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"metascope/internal/archive"
 	"metascope/internal/obs"
+	"metascope/internal/profile"
 	"metascope/internal/replay"
 	"metascope/internal/vclock"
 )
 
-func run(cli *obs.CLIConfig, in, dir, schemeFlag, out string) error {
+func run(cli *obs.CLIConfig, in, dir, schemeFlag, out string, counters bool) error {
 	scheme, err := vclock.ParseScheme(schemeFlag)
 	if err != nil {
 		return err
 	}
-	entries, err := os.ReadDir(in)
+	mounts, metahosts, dir, err := archive.MountTree(in, dir)
 	if err != nil {
 		return err
-	}
-	mounts := archive.NewMounts()
-	id := 0
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		fs, err := archive.NewDirFS(filepath.Join(in, e.Name()))
-		if err != nil {
-			return err
-		}
-		mounts.Mount(id, fs)
-		if dir == "" {
-			if names, err := fs.List("."); err == nil {
-				for _, n := range names {
-					if len(n) > 5 && n[:5] == "epik_" {
-						dir = n
-					}
-				}
-			}
-		}
-		id++
-	}
-	if id == 0 || dir == "" {
-		return fmt.Errorf("no metahost archives under %s", in)
-	}
-	metahosts := make([]int, id)
-	for i := range metahosts {
-		metahosts[i] = i
 	}
 	rec := cli.Recorder()
 	traces, err := replay.LoadArchive(mounts, metahosts, dir)
 	if err != nil {
 		return err
 	}
+	// With -counters the full pattern search runs first so the detected
+	// wait-state severities ride along as Perfetto counter tracks above
+	// the event rows.
+	var prof *profile.Profile
+	if counters {
+		res, err := replay.Analyze(traces, replay.Config{
+			Scheme: scheme,
+			Title:  fmt.Sprintf("%s (%v)", dir, scheme),
+			Obs:    rec,
+		})
+		if err != nil {
+			return err
+		}
+		prof = res.Profile
+	}
 	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	span := rec.Phases.Start("render")
-	err = replay.ExportTimeline(f, traces, scheme)
+	err = replay.ExportTimelineProfile(f, traces, scheme, prof)
 	span.End()
 	if err != nil {
 		f.Close()
@@ -93,10 +79,11 @@ func main() {
 	dir := flag.String("archive", "", "experiment archive directory name (default: autodetect)")
 	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")
 	out := flag.String("o", "timeline.json", "output JSON file")
+	counters := flag.Bool("counters", false, "run the pattern search and merge wait-state severity counter tracks into the timeline")
 	flag.Parse()
 	cli.Start()
 
-	err := run(cli, *in, *dir, *schemeFlag, *out)
+	err := run(cli, *in, *dir, *schemeFlag, *out, *counters)
 	if ferr := cli.Flush(); err == nil {
 		err = ferr
 	}

@@ -1,0 +1,102 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestIsExperimentDir(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"epik_metatrace", true},
+		{"epik_a", true},
+		// The bare prefix is a valid (empty measurement name) archive;
+		// the old hand-rolled check `len(n) > 5` rejected it.
+		{"epik_", true},
+		{"epik", false},
+		{"epic_metatrace", false},
+		{"", false},
+		{"xepik_run", false},
+	}
+	for _, c := range cases {
+		if got := IsExperimentDir(c.name); got != c.want {
+			t.Errorf("IsExperimentDir(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDetectExperimentLexicallyFirst(t *testing.T) {
+	fs := NewMemFS("host")
+	for _, d := range []string{"epik_zulu", "data", "epik_alpha", "epik_"} {
+		if err := fs.Mkdir(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := DetectExperiment(fs)
+	if !ok || got != "epik_" {
+		t.Fatalf("DetectExperiment = %q, %v; want \"epik_\", true", got, ok)
+	}
+}
+
+func TestDetectExperimentNone(t *testing.T) {
+	fs := NewMemFS("host")
+	if err := fs.Mkdir("data"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := DetectExperiment(fs); ok {
+		t.Fatalf("DetectExperiment on archive-free fs = %q, true", got)
+	}
+}
+
+func TestMountTree(t *testing.T) {
+	root := t.TempDir()
+	// Two metahost mounts; the lexically first archive lives on the
+	// second mount, so detection must consider every mount.
+	for _, p := range []string{"mh0/epik_late", "mh1/epik_early"} {
+		if err := os.MkdirAll(filepath.Join(root, p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(root, "stray.txt"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mounts, metahosts, dir, err := MountTree(root, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metahosts) != 2 || metahosts[0] != 0 || metahosts[1] != 1 {
+		t.Errorf("metahosts %v", metahosts)
+	}
+	if dir != "epik_early" {
+		t.Errorf("detected %q, want epik_early", dir)
+	}
+	if mounts.For(0) == nil || mounts.For(1) == nil {
+		t.Error("mounts incomplete")
+	}
+
+	// An explicit archive name wins over detection.
+	_, _, dir, err = MountTree(root, "epik_late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != "epik_late" {
+		t.Errorf("explicit dir overridden: %q", dir)
+	}
+}
+
+func TestMountTreeErrors(t *testing.T) {
+	empty := t.TempDir()
+	if _, _, _, err := MountTree(empty, ""); err == nil {
+		t.Error("no error for an empty tree")
+	}
+	noArchive := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(noArchive, "mh0"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := MountTree(noArchive, ""); err == nil {
+		t.Error("no error when no epik_* directory exists")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"metascope/internal/pattern"
+	"metascope/internal/profile"
 )
 
 // Metric is one node of the metric dimension.
@@ -51,6 +52,12 @@ type Report struct {
 	Metrics []Metric
 	Calls   []CallNode
 	Locs    []Loc
+	// Profile is the optional time-resolved severity profile attached by
+	// the replay analysis. It renders as the heatmap section of the HTML
+	// report but is not part of the binary cube format: it travels as its
+	// own artifact (see internal/profile) and can be re-attached to a
+	// loaded report before rendering.
+	Profile *profile.Profile
 	// sev[m][c][l] is the exclusive severity of metric m at call node c
 	// and location l.
 	sev [][][]float64

@@ -39,12 +39,30 @@ func (r *Report) RenderHTML(w io.Writer) error {
 		Calls   []callRow
 		System  []sysRow
 	}
+	type heatCell struct {
+		Alpha float64
+		Title string
+	}
+	type heatRow struct {
+		Label string
+		Cells []heatCell
+	}
+	type heatPanel struct {
+		Name string
+		Max  float64
+		Unit string
+		Rows []heatRow
+	}
 	data := struct {
-		Title     string
-		TotalTime float64
-		NumProcs  int
-		Metrics   []metricRow
-		Sections  []metricSection
+		Title      string
+		TotalTime  float64
+		NumProcs   int
+		Metrics    []metricRow
+		Sections   []metricSection
+		Heatmap    []heatPanel
+		HeatOrigin float64
+		HeatWidth  float64
+		HeatCount  int
 	}{
 		Title:     r.Title,
 		TotalTime: r.TotalTime(),
@@ -145,6 +163,55 @@ func (r *Report) RenderHTML(w io.Writer) error {
 		}
 		data.Sections = append(data.Sections, sec)
 	}
+
+	// Time-resolved severity heatmap: one panel per profiled metric,
+	// one row per metahost (ranks summed), cell intensity scaled to the
+	// panel's maximum bucket value. Omitted entirely when the report
+	// carries no profile.
+	if !r.Profile.Empty() {
+		p := r.Profile
+		data.HeatOrigin, data.HeatWidth, data.HeatCount = p.Origin, p.BucketWidth, p.Buckets
+		for _, metric := range p.Metrics() {
+			panel := heatPanel{Name: metric}
+			for _, s := range p.Series {
+				if s.Metric == metric {
+					if s.Name != "" {
+						panel.Name = s.Name
+					}
+					panel.Unit = s.Unit
+					break
+				}
+			}
+			rows := p.ByMetahost(metric)
+			for _, row := range rows {
+				for _, v := range row.Values {
+					if v > panel.Max {
+						panel.Max = v
+					}
+				}
+			}
+			for _, row := range rows {
+				label := row.Name
+				if label == "" {
+					label = fmt.Sprintf("metahost %d", row.Metahost)
+				}
+				hr := heatRow{Label: label}
+				for i, v := range row.Values {
+					alpha := 0.0
+					if panel.Max > 0 {
+						alpha = v / panel.Max
+					}
+					left := p.Origin + float64(i)*p.BucketWidth
+					hr.Cells = append(hr.Cells, heatCell{
+						Alpha: alpha,
+						Title: fmt.Sprintf("[%.4g, %.4g) s: %.4g %s", left, left+p.BucketWidth, v, panel.Unit),
+					})
+				}
+				panel.Rows = append(panel.Rows, hr)
+			}
+			data.Heatmap = append(data.Heatmap, panel)
+		}
+	}
 	return htmlTemplate.Execute(w, data)
 }
 
@@ -163,6 +230,8 @@ td.num { text-align: right; white-space: nowrap; }
 .indent { color: #777; }
 details { margin: .5rem 0; } summary { cursor: pointer; font-weight: 600; }
 .muted { color: #777; }
+table.heat { width: auto; } table.heat td { padding: 0 1px; }
+.hc { width: 9px; min-width: 9px; height: 16px; display: inline-block; border: 1px solid #eee; }
 </style>
 </head>
 <body>
@@ -178,6 +247,20 @@ details { margin: .5rem 0; } summary { cursor: pointer; font-weight: 600; }
 {{else}}<td class="num" colspan="2">{{.Value}}</td>{{end}}
 </tr>
 {{end}}</table>
+
+{{if .Heatmap}}
+<h2>Time-resolved severity</h2>
+<p class="muted">{{.HeatCount}} intervals of {{printf "%.4g" .HeatWidth}} s starting at t = {{printf "%.4g" .HeatOrigin}} s; one row per metahost, ranks summed, intensity relative to each panel's peak interval</p>
+{{range .Heatmap}}
+<h3>{{.Name}}{{if .Unit}} <span class="muted">(peak {{printf "%.4g" .Max}} {{.Unit}}/interval)</span>{{end}}</h3>
+<table class="heat">
+{{range .Rows}}<tr>
+<td>{{.Label}}</td>
+{{range .Cells}}<td><span class="hc" title="{{.Title}}" style="background: rgba(204,51,51,{{printf "%.3f" .Alpha}})"></span></td>{{end}}
+</tr>
+{{end}}</table>
+{{end}}
+{{end}}
 
 {{range .Sections}}
 <details>

@@ -21,7 +21,8 @@ type CLIConfig struct {
 	MetricsOut string
 	PprofAddr  string
 
-	rec *Recorder
+	rec     *Recorder
+	sampler *RuntimeSampler
 }
 
 // RegisterCLIFlags registers the shared flags on fs (typically
@@ -46,6 +47,11 @@ func (c *CLIConfig) Start() {
 	if c.Verbose {
 		c.rec.Log.SetLevel(LevelDebug)
 	}
+	// Sample Go runtime statistics whenever anything will consume them:
+	// a snapshot file on exit or a live /metrics endpoint.
+	if c.MetricsOut != "" || c.PprofAddr != "" {
+		c.sampler = StartRuntimeSampler(c.rec.Reg, 0)
+	}
 	if c.PprofAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/debug/pprof/", http.DefaultServeMux)
@@ -68,6 +74,7 @@ func (c *CLIConfig) Start() {
 // Prometheus text exposition otherwise. Without -metrics-out it is a
 // no-op.
 func (c *CLIConfig) Flush() error {
+	c.sampler.Stop()
 	if c.MetricsOut == "" {
 		return nil
 	}

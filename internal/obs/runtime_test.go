@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerRegistersGauges(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+
+	got := make(map[string]float64)
+	for _, fam := range reg.Snapshot() {
+		for _, series := range fam.Series {
+			got[fam.Name] = series.Value
+		}
+	}
+	for _, name := range []string{
+		"go_heap_alloc_bytes", "go_heap_sys_bytes", "go_goroutines",
+		"go_gc_pause_seconds_total", "go_gc_cycles_total",
+	} {
+		v, ok := got[name]
+		if !ok {
+			t.Errorf("gauge %s not registered", name)
+			continue
+		}
+		if name == "go_heap_alloc_bytes" || name == "go_goroutines" {
+			if v <= 0 {
+				t.Errorf("%s = %g, want > 0", name, v)
+			}
+		}
+	}
+}
+
+func TestRuntimeSamplerNilStop(t *testing.T) {
+	var s *RuntimeSampler
+	s.Stop() // must not panic
+}

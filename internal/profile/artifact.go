@@ -1,0 +1,282 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Profile is the exportable time-resolved severity artifact: one row
+// of bucket values per (metric, metahost, rank), all on a common time
+// axis. It is the stable interchange format between mtanalyze (which
+// writes it), mtdiff (which compares two interval-by-interval), the
+// HTML heatmap, and the timeline counter tracks.
+type Profile struct {
+	Title string `json:"title,omitempty"`
+	// Origin is the corrected time of bucket 0's left edge (seconds).
+	Origin float64 `json:"origin"`
+	// BucketWidth is the common bucket width in seconds.
+	BucketWidth float64 `json:"bucket_width"`
+	// Buckets is the fixed bucket count of every series.
+	Buckets int      `json:"buckets"`
+	Series  []Series `json:"series"`
+}
+
+// Series is one severity time series.
+type Series struct {
+	Metric       string    `json:"metric"`
+	Name         string    `json:"name,omitempty"`
+	Unit         string    `json:"unit,omitempty"`
+	Metahost     int       `json:"metahost"`
+	MetahostName string    `json:"metahost_name,omitempty"`
+	Rank         int       `json:"rank"`
+	Count        int64     `json:"count"`
+	Values       []float64 `json:"values"`
+}
+
+// Empty reports whether the profile carries no series at all.
+func (p *Profile) Empty() bool { return p == nil || len(p.Series) == 0 }
+
+// Metrics returns the distinct metric keys in series order.
+func (p *Profile) Metrics() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range p.Series {
+		if !seen[s.Metric] {
+			seen[s.Metric] = true
+			out = append(out, s.Metric)
+		}
+	}
+	return out
+}
+
+// MetahostRows aggregates one metric's series by metahost (summing
+// ranks), returning rows ordered by metahost id. Used by the HTML
+// heatmap and the timeline counter tracks.
+type MetahostRow struct {
+	Metahost int
+	Name     string
+	Values   []float64
+}
+
+// ByMetahost aggregates the series of one metric across ranks.
+func (p *Profile) ByMetahost(metric string) []MetahostRow {
+	byID := make(map[int]*MetahostRow)
+	for _, s := range p.Series {
+		if s.Metric != metric {
+			continue
+		}
+		row, ok := byID[s.Metahost]
+		if !ok {
+			row = &MetahostRow{Metahost: s.Metahost, Name: s.MetahostName, Values: make([]float64, p.Buckets)}
+			byID[s.Metahost] = row
+		}
+		if row.Name == "" {
+			row.Name = s.MetahostName
+		}
+		for i, v := range s.Values {
+			if i < len(row.Values) {
+				row.Values[i] += v
+			}
+		}
+	}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]MetahostRow, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *byID[id])
+	}
+	return out
+}
+
+// WriteJSON writes the profile as indented JSON. Series order is fixed
+// by Snapshot, and encoding/json formats floats canonically, so equal
+// profiles serialize byte-identically.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteCSV writes the profile in wide CSV form: one row per series
+// with metric, location, count, and every bucket value. The first two
+// lines carry the time axis so the file is self-describing.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# origin_seconds=%s bucket_width_seconds=%s buckets=%d\n",
+		strconv.FormatFloat(p.Origin, 'g', -1, 64),
+		strconv.FormatFloat(p.BucketWidth, 'g', -1, 64), p.Buckets)
+	b.WriteString("metric,metahost,metahost_name,rank,count")
+	for i := 0; i < p.Buckets; i++ {
+		fmt.Fprintf(&b, ",b%d", i)
+	}
+	b.WriteByte('\n')
+	for _, s := range p.Series {
+		fmt.Fprintf(&b, "%s,%d,%s,%d,%d", s.Metric, s.Metahost, csvEscape(s.MetahostName), s.Rank, s.Count)
+		for i := 0; i < p.Buckets; i++ {
+			v := 0.0
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// WriteFile writes the profile to path, choosing CSV for .csv paths
+// and JSON otherwise.
+func (p *Profile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = p.WriteCSV(f)
+	} else {
+		err = p.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Read decodes a JSON profile artifact and validates its shape.
+func Read(r io.Reader) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: decoding artifact: %w", err)
+	}
+	if p.Buckets < 0 || p.BucketWidth < 0 {
+		return nil, fmt.Errorf("profile: invalid artifact: buckets=%d width=%g", p.Buckets, p.BucketWidth)
+	}
+	for i, s := range p.Series {
+		if len(s.Values) > p.Buckets {
+			return nil, fmt.Errorf("profile: series %d (%s) has %d values for %d buckets", i, s.Metric, len(s.Values), p.Buckets)
+		}
+	}
+	return &p, nil
+}
+
+// ReadFile reads a JSON profile artifact from path.
+func ReadFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// foldValues halves the resolution of a bucket row k times.
+func foldValues(vals []float64, buckets, k int) []float64 {
+	out := make([]float64, buckets)
+	copy(out, vals)
+	s := series{width: 1, sums: out}
+	s.fold(k)
+	return s.sums
+}
+
+// Diff compares two profiles interval-by-interval and returns a − b as
+// a new profile. The time axes are aligned by folding the finer
+// profile's buckets; the widths must therefore be related by a power
+// of two (which holds for any two runs of the same configuration), the
+// origins must match, and the bucket counts must be equal. Series
+// present on only one side diff against zero.
+func Diff(a, b *Profile) (*Profile, error) {
+	if a.Buckets != b.Buckets {
+		return nil, fmt.Errorf("profile: bucket counts differ (%d vs %d)", a.Buckets, b.Buckets)
+	}
+	if a.Origin != b.Origin {
+		return nil, fmt.Errorf("profile: origins differ (%g vs %g)", a.Origin, b.Origin)
+	}
+	wA, wB := a.BucketWidth, b.BucketWidth
+	foldA, foldB := 0, 0
+	for wA < wB {
+		wA *= 2
+		foldA++
+	}
+	for wB < wA {
+		wB *= 2
+		foldB++
+	}
+	if wA != wB {
+		return nil, fmt.Errorf("profile: bucket widths %g and %g are not power-of-two related", a.BucketWidth, b.BucketWidth)
+	}
+	out := &Profile{
+		Title:       fmt.Sprintf("%s − %s", a.Title, b.Title),
+		Origin:      a.Origin,
+		BucketWidth: wA,
+		Buckets:     a.Buckets,
+	}
+	type side struct {
+		s    *Series
+		fold int
+	}
+	bySeries := make(map[Key][2]*side)
+	var keys []Key
+	index := func(p *Profile, fold, which int) {
+		for i := range p.Series {
+			s := &p.Series[i]
+			k := Key{Metric: s.Metric, Metahost: s.Metahost, Rank: s.Rank}
+			pair, ok := bySeries[k]
+			if !ok {
+				keys = append(keys, k)
+			}
+			pair[which] = &side{s: s, fold: fold}
+			bySeries[k] = pair
+		}
+	}
+	index(a, foldA, 0)
+	index(b, foldB, 1)
+	sortKeys(keys)
+	for _, k := range keys {
+		pair := bySeries[k]
+		row := Series{Metric: k.Metric, Metahost: k.Metahost, Rank: k.Rank}
+		vals := make([]float64, a.Buckets)
+		for which, sign := range []float64{1, -1} {
+			sd := pair[which]
+			if sd == nil {
+				continue
+			}
+			if row.Name == "" {
+				row.Name, row.Unit, row.MetahostName = sd.s.Name, sd.s.Unit, sd.s.MetahostName
+			}
+			folded := foldValues(sd.s.Values, a.Buckets, sd.fold)
+			for i, v := range folded {
+				vals[i] += sign * v
+			}
+			row.Count += int64(sign) * sd.s.Count
+		}
+		row.Values = vals
+		out.Series = append(out.Series, row)
+	}
+	return out, nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"metascope/internal/cube"
 	"metascope/internal/pattern"
+	"metascope/internal/profile"
 	"metascope/internal/trace"
 )
 
@@ -42,12 +43,33 @@ func (a *analyzer) result() (*Result, error) {
 		}
 	}
 
+	// The combined time-resolved profile: the per-worker accumulators
+	// merged in rank order (each was filled in its rank's deterministic
+	// sweep order), then the sequential post-passes below feed the
+	// remaining point-to-point wait series — so the bucket sums are
+	// reproducible bit-for-bit regardless of goroutine scheduling.
+	prof := profile.NewAccumulator(a.profCfg)
+	for _, t := range a.traces {
+		prof.SetMetahostName(t.Loc.Metahost, t.Loc.MetahostName)
+	}
+	for p := pattern.ID(0); p < pattern.NumPatterns; p++ {
+		prof.SetMeta(p.MetricKey(), profile.SeriesMeta{Name: p.String(), Unit: "sec"})
+	}
+	prof.SetMeta(profile.KeyBytesIntra, profile.SeriesMeta{Name: "Intra-metahost message volume", Unit: "bytes"})
+	prof.SetMeta(profile.KeyBytesWide, profile.SeriesMeta{Name: "Wide-area message volume", Unit: "bytes"})
+	for _, rr := range a.results {
+		prof.Merge(rr.prof)
+	}
+
 	// Wrong-order post-pass: a Late Sender instance is reclassified as
 	// Messages in Wrong Order if the receiver later consumes a message
 	// that was sent earlier than the matched one and before the receive
 	// was posted — receiving in send order would have shortened the
 	// wait. A suffix-minimum over the per-receiver log decides this in
-	// linear time and independently of goroutine scheduling.
+	// linear time and independently of goroutine scheduling. The final
+	// classification is also when the late-sender family's profile
+	// series are fed: only here is the pattern identity of an instance
+	// known.
 	for _, rr := range a.results {
 		myMH := a.traces[rr.rank].Loc.Metahost
 		n := len(rr.recvLog)
@@ -69,6 +91,8 @@ func (a *analyzer) result() (*Result, error) {
 				pat = pattern.WrongOrder
 			}
 			rr.acc[ri.cp].waits[pat] += ri.lsWait
+			prof.Add(profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank},
+				ri.recvEnter, ri.lsWait, ri.lsWait)
 		}
 	}
 
@@ -81,7 +105,10 @@ func (a *analyzer) result() (*Result, error) {
 		}
 	}
 
+	res.Profile = prof.Snapshot(a.cfg.Title)
+
 	res.Report = a.buildReport()
+	res.Report.Profile = res.Profile
 	if err := res.Report.Validate(); err != nil {
 		return nil, err
 	}

@@ -23,6 +23,7 @@ package replay
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"metascope/internal/archive"
 	"metascope/internal/cube"
 	"metascope/internal/obs"
+	"metascope/internal/profile"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
@@ -61,6 +63,13 @@ type Config struct {
 	// own runtime behavior into (phase spans, replay-traffic
 	// histograms, progress gauges); nil selects obs.Default.
 	Obs *obs.Recorder
+	// ProfileBuckets is the fixed bucket count of the time-resolved
+	// severity profile (0 selects profile.DefaultBuckets).
+	ProfileBuckets int
+	// ProfileWidth is the profile's bucket width in corrected seconds;
+	// 0 derives it from the run span so the whole run fits without
+	// bucket folding.
+	ProfileWidth float64
 }
 
 // Result is the outcome of one analysis.
@@ -97,6 +106,11 @@ type Result struct {
 	// Corrections holds the per-rank time correction maps that were
 	// applied (local time → master time).
 	Corrections []vclock.Correction
+	// Profile is the time-resolved wait-state profile: severity time
+	// series per (pattern, metahost, rank) plus intra- vs wide-area
+	// message-volume series, on a common interval axis. Also attached
+	// to Report.Profile so HTML rendering can show the heatmap.
+	Profile *profile.Profile
 }
 
 // LoadArchive reads every local trace file of an experiment from the
@@ -261,6 +275,7 @@ func Analyze(traces []*trace.Trace, cfg Config) (*Result, error) {
 	}
 	a := newAnalyzer(traces, corr, comms, cfg)
 	a.metrics = m
+	a.profCfg = profileConfig(traces, a.corr, cfg)
 
 	events := 0
 	for _, t := range traces {
@@ -294,6 +309,42 @@ func Analyze(traces []*trace.Trace, cfg Config) (*Result, error) {
 		"collectives", res.Collectives, "violations", res.Violations,
 		"repairs", res.Repairs, "replay_seconds", replayDur.Seconds())
 	return res, nil
+}
+
+// profileConfig derives the time-resolved profile's interval axis
+// from the corrected run span: origin at the earliest corrected event,
+// bucket width covering the span with ~6% headroom so neither the last
+// event nor moderate timestamp repairs force a bucket fold. The axis
+// depends only on the traces and corrections, so two analyses of the
+// same archive profile onto identical intervals.
+func profileConfig(traces []*trace.Trace, corr []vclock.LinearMap, cfg Config) profile.Config {
+	pc := profile.Config{Buckets: cfg.ProfileBuckets, Width: cfg.ProfileWidth}
+	if pc.Buckets <= 0 {
+		pc.Buckets = profile.DefaultBuckets
+	}
+	first := math.Inf(1)
+	last := math.Inf(-1)
+	for r, t := range traces {
+		if len(t.Events) == 0 {
+			continue
+		}
+		if v := corr[r].Apply(t.Events[0].Time); v < first {
+			first = v
+		}
+		if v := corr[r].Apply(t.Events[len(t.Events)-1].Time); v > last {
+			last = v
+		}
+	}
+	if math.IsInf(first, 1) {
+		return pc
+	}
+	pc.Origin = first
+	if pc.Width <= 0 {
+		if span := last - first; span > 0 {
+			pc.Width = span * 1.0625 / float64(pc.Buckets)
+		}
+	}
+	return pc
 }
 
 // replayMetrics pre-registers every replay metric family, so a

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"metascope/internal/profile"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
@@ -25,6 +26,16 @@ import (
 // condition violations visible as backwards arrows in one view and
 // not the other.
 func ExportTimeline(w io.Writer, traces []*trace.Trace, scheme vclock.Scheme) error {
+	return ExportTimelineProfile(w, traces, scheme, nil)
+}
+
+// ExportTimelineProfile is ExportTimeline with the time-resolved
+// severity profile merged in as counter tracks: one "ph":"C" track per
+// (metric, metahost), sampled at every bucket edge, so Perfetto draws
+// the wait-state intensity as a stacked area right above the event
+// rows it explains. A nil or empty profile degrades to the plain
+// timeline.
+func ExportTimelineProfile(w io.Writer, traces []*trace.Trace, scheme vclock.Scheme, prof *profile.Profile) error {
 	corr, err := BuildCorrections(traces, scheme)
 	if err != nil {
 		return err
@@ -132,6 +143,45 @@ func ExportTimeline(w io.Writer, traces []*trace.Trace, scheme vclock.Scheme) er
 				if err := emit(ev{
 					"ph": "i", "name": e.Coll.String(), "s": "t",
 					"pid": pid, "tid": tid, "ts": ts,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Counter tracks: per metric and metahost, the bucket values of the
+	// time-resolved profile sampled at each bucket's left edge, plus a
+	// closing zero sample at the right edge so the last bucket renders
+	// with its true extent.
+	if !prof.Empty() {
+		for _, metric := range prof.Metrics() {
+			name, unit := metric, ""
+			for _, s := range prof.Series {
+				if s.Metric == metric {
+					if s.Name != "" {
+						name = s.Name
+					}
+					unit = s.Unit
+					break
+				}
+			}
+			if unit != "" {
+				name = fmt.Sprintf("%s (%s)", name, unit)
+			}
+			for _, row := range prof.ByMetahost(metric) {
+				for i, v := range row.Values {
+					ts := (prof.Origin + float64(i)*prof.BucketWidth) * 1e6
+					if err := emit(ev{
+						"ph": "C", "name": name, "pid": row.Metahost, "ts": ts,
+						"args": ev{"value": v},
+					}); err != nil {
+						return err
+					}
+				}
+				end := (prof.Origin + float64(len(row.Values))*prof.BucketWidth) * 1e6
+				if err := emit(ev{
+					"ph": "C", "name": name, "pid": row.Metahost, "ts": end,
+					"args": ev{"value": 0.0},
 				}); err != nil {
 					return err
 				}

@@ -3,6 +3,7 @@ package replay
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -66,6 +67,76 @@ func TestExportTimelineValidJSON(t *testing.T) {
 	}
 	if inst != 2 { // one barrier instant per rank
 		t.Errorf("instant events %d, want 2", inst)
+	}
+}
+
+func TestExportTimelineProfileCounterTracks(t *testing.T) {
+	// Analyze the same traces the timeline exports, then merge the
+	// resulting profile as counter tracks and round-trip the output
+	// through the Chrome trace-event schema: every event must carry a
+	// valid "ph", and every "C" event a pid, a finite ts, and a numeric
+	// args value.
+	traces := timelineTraces()
+	res := analyze(t, traces)
+	if res.Profile.Empty() {
+		t.Fatal("analysis produced no profile series")
+	}
+	var buf bytes.Buffer
+	if err := ExportTimelineProfile(&buf, timelineTraces(), vclock.FlatSingle, res.Profile); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	counters := 0
+	names := make(map[string]bool)
+	for _, ev := range events {
+		ph, ok := ev["ph"].(string)
+		if !ok || !strings.ContainsAny(ph, "BEsfMiC") || len(ph) != 1 {
+			t.Fatalf("bad ph in %v", ev)
+		}
+		if ph != "C" {
+			continue
+		}
+		counters++
+		names[ev["name"].(string)] = true
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("counter without pid: %v", ev)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || math.IsNaN(ts) || math.IsInf(ts, 0) {
+			t.Fatalf("counter with bad ts: %v", ev)
+		}
+		args, ok := ev["args"].(map[string]interface{})
+		if !ok {
+			t.Fatalf("counter without args: %v", ev)
+		}
+		if _, ok := args["value"].(float64); !ok {
+			t.Fatalf("counter args not numeric: %v", ev)
+		}
+	}
+	// Each (metric, metahost) row contributes buckets+1 samples.
+	rows := 0
+	for _, m := range res.Profile.Metrics() {
+		rows += len(res.Profile.ByMetahost(m))
+	}
+	if want := rows * (res.Profile.Buckets + 1); counters != want {
+		t.Errorf("counter events %d, want %d (%d rows × %d samples)", counters, want, rows, res.Profile.Buckets+1)
+	}
+	if len(names) != len(res.Profile.Metrics()) {
+		t.Errorf("counter track names %v, want one per metric %v", names, res.Profile.Metrics())
+	}
+	// The nil-profile path stays byte-compatible with ExportTimeline.
+	var plain, withNil bytes.Buffer
+	if err := ExportTimeline(&plain, timelineTraces(), vclock.FlatSingle); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportTimelineProfile(&withNil, timelineTraces(), vclock.FlatSingle, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), withNil.Bytes()) {
+		t.Error("nil profile changes timeline output")
 	}
 }
 

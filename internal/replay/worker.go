@@ -1,11 +1,15 @@
 package replay
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"metascope/internal/obs"
 	"metascope/internal/pattern"
+	"metascope/internal/profile"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
@@ -178,7 +182,12 @@ type rankResult struct {
 	replayBytes    int64
 	replayExternal int64
 	commMatrix     map[[2]int]CommVolume // outgoing traffic by (myMH, dstMH)
-	err            error
+	// prof is this analysis process's slice of the time-resolved
+	// severity profile. Each worker feeds only its own accumulator in
+	// its (deterministic) sweep order; result() merges them in rank
+	// order, so the combined profile is reproducible bit-for-bit.
+	prof *profile.Accumulator
+	err  error
 }
 
 func (rr *rankResult) cpID(parent int, region trace.RegionID, name string, kind trace.RegionKind) int {
@@ -213,6 +222,9 @@ type analyzer struct {
 	// metrics is the pre-registered replay metric set; worker progress
 	// gauges are updated live while the replay runs.
 	metrics *replayMetrics
+	// profCfg shapes the per-rank profile accumulators (shared interval
+	// axis derived from the corrected run span).
+	profCfg profile.Config
 }
 
 func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int32][]int32, cfg Config) *analyzer {
@@ -239,7 +251,10 @@ func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int3
 // analysis of §4, which on the metacomputer itself would run on the
 // same processors as the application. Worker progress is visible live
 // through the workers-active and ranks-done gauges (scrape them via
-// -pprof's /metrics endpoint during a long analysis).
+// -pprof's /metrics endpoint during a long analysis), and every worker
+// goroutine carries pprof labels (rank, phase), so a CPU or goroutine
+// profile taken through -pprof attributes samples to the analysis
+// process that burned them.
 func (a *analyzer) run() {
 	if a.metrics == nil {
 		a.metrics = newReplayMetrics(obs.OrDefault(a.cfg.Obs))
@@ -250,10 +265,13 @@ func (a *analyzer) run() {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			a.metrics.workersActive.Add(1)
-			a.results[rank] = a.replayRank(rank)
-			a.metrics.workersActive.Add(-1)
-			a.metrics.ranksDone.Add(1)
+			labels := pprof.Labels("rank", strconv.Itoa(rank), "phase", "replay")
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				a.metrics.workersActive.Add(1)
+				a.results[rank] = a.replayRank(rank)
+				a.metrics.workersActive.Add(-1)
+				a.metrics.ranksDone.Add(1)
+			})
 		}(rank)
 	}
 	wg.Wait()
@@ -305,7 +323,11 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 	t := a.traces[rank]
 	corr := a.corr[rank]
 	myMH := t.Loc.Metahost
-	rr := &rankResult{rank: rank, byKey: make(map[cpKey]int), commMatrix: make(map[[2]int]CommVolume)}
+	rr := &rankResult{
+		rank: rank, byKey: make(map[cpKey]int),
+		commMatrix: make(map[[2]int]CommVolume),
+		prof:       profile.NewAccumulator(a.profCfg),
+	}
 	regions := make(map[trace.RegionID]*trace.Region, len(t.Regions))
 	for i := range t.Regions {
 		regions[t.Regions[i].ID] = &t.Regions[i]
@@ -378,6 +400,11 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 			cell.Messages++
 			cell.Bytes += ev.Bytes
 			rr.commMatrix[[2]int{myMH, dstMH}] = cell
+			volKey := profile.KeyBytesIntra
+			if dstMH != myMH {
+				volKey = profile.KeyBytesWide
+			}
+			rr.prof.AddPoint(profile.Key{Metric: volKey, Metahost: myMH, Rank: rank}, ct, float64(ev.Bytes))
 			a.mailboxes[dst].put(sendRecord{
 				comm:        ev.Comm,
 				srcWorld:    int32(rank),
@@ -438,6 +465,12 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 						rank: int(rec.srcWorld), cp: rec.srcCP, pat: pat, val: lr,
 						mhA: rec.srcMetahost, mhB: myMH, isGrid: grid,
 					})
+					// The sender blocked from its enter until the wait
+					// elapsed; the detecting (receiving) process records
+					// the interval into its own accumulator, keyed to
+					// the suffering sender.
+					rr.prof.Add(profile.Key{Metric: pat.MetricKey(), Metahost: rec.srcMetahost, Rank: int(rec.srcWorld)},
+						rec.sendEnter, lr, lr)
 				}
 			}
 
@@ -540,15 +573,27 @@ func (a *analyzer) scoreCollective(rr *rankResult, cp int, ev *trace.Event, g *c
 			rr.acc[cp].addPair(pat, myMH, causeMH, v)
 		}
 		rr.acc[cp].waits[pat] += v
+		// Waiting starts when this process enters the operation and
+		// lasts until the cause arrives.
+		rr.prof.Add(profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank}, myEnter, v, v)
+	}
+	// Completion waits sit at the *end* of the operation: from the last
+	// participant's enter to this process's exit.
+	addCompletion := func(pat pattern.ID, v float64) {
+		if v <= 0 {
+			return
+		}
+		rr.acc[cp].waits[pat] += v
+		rr.prof.Add(profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank}, myDone-v, v, v)
 	}
 	switch {
 	case ev.Coll == trace.CollBarrier:
 		add(pattern.WaitBarrier, pattern.WaitAtBarrierWait(maxEnter, myEnter, myDone), maxMH)
 		// Barrier Completion has no grid specialization; add directly.
-		rr.acc[cp].waits[pattern.BarrierCompletion] += pattern.BarrierCompletionWait(maxEnter, myEnter, myDone)
+		addCompletion(pattern.BarrierCompletion, pattern.BarrierCompletionWait(maxEnter, myEnter, myDone))
 	case ev.Coll.IsNxN():
 		add(pattern.WaitNxN, pattern.WaitAtNxNWait(maxEnter, myEnter, myDone), maxMH)
-		rr.acc[cp].waits[pattern.NxNCompletion] += pattern.NxNCompletionWait(maxEnter, myEnter, myDone)
+		addCompletion(pattern.NxNCompletion, pattern.NxNCompletionWait(maxEnter, myEnter, myDone))
 	case ev.Coll.IsNToOne():
 		if int32(commRank) == ev.Root && haveOther {
 			add(pattern.EarlyReduce, pattern.EarlyReduceWait(minOther, myEnter, myDone), minOtherMH)
