@@ -17,8 +17,14 @@ race:
 vet:
 	go vet ./...
 
-bench: ## replay benchmarks, machine-readable results in BENCH_replay.json
-	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkScalabilityAnalysis' \
+bench: ## replay + ingestion benchmarks; BENCH_replay.json plus delta vs the committed baseline
+	@if [ -f BENCH_replay.json ]; then cp BENCH_replay.json BENCH_replay.prev.json; fi
+	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkArchiveLoad|BenchmarkScalabilityAnalysis' \
 		-benchmem -json . > BENCH_replay.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_replay.json | sed 's/"Output":"//' || true
+	@if [ -f BENCH_replay.prev.json ]; then \
+		go run ./script/benchdelta -base BENCH_replay.prev.json BENCH_replay.json; \
+		rm -f BENCH_replay.prev.json; \
+	else \
+		go run ./script/benchdelta BENCH_replay.json; \
+	fi
 	@echo "bench results written to BENCH_replay.json"

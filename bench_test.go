@@ -284,6 +284,47 @@ func BenchmarkParallelReplay(b *testing.B) {
 	b.ReportMetric(float64(events), "events")
 }
 
+// BenchmarkArchiveLoad measures the ingestion path alone: listing the
+// per-metahost archives and decoding every rank's trace file into
+// memory — the fixed cost every analysis, timeline export, or profile
+// pays before replay can start. b.SetBytes reports decode throughput
+// over the total encoded archive size.
+func BenchmarkArchiveLoad(b *testing.B) {
+	topo := metascope.VIOLA()
+	place := metascope.ViolaExperiment1Placement(topo)
+	e := metascope.NewExperiment("bench", topo, place, 42)
+	if err := e.Build(); err != nil {
+		b.Fatal(err)
+	}
+	params, err := metatrace.Setup(e.World(), metatrace.Default(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Run(func(m *measure.M) { metatrace.Body(m, params) }); err != nil {
+		b.Fatal(err)
+	}
+	traces, err := e.Traces()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes, err := replay.TraceSizes(traces)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	mounts, metahosts := e.Mounts(), e.Place.MetahostsUsed()
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.LoadArchive(mounts, metahosts, e.ArchiveDir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkReplayTrafficVsTraceSize quantifies §4's argument for
 // replay-based parallel analysis: "the amount of data transferred per
 // process is significantly smaller than the entire trace file

@@ -31,7 +31,7 @@ func run(cli *obs.CLIConfig, in, dir, schemeFlag, out string, counters bool) err
 		return err
 	}
 	rec := cli.Recorder()
-	traces, err := replay.LoadArchive(mounts, metahosts, dir)
+	traces, err := replay.LoadArchiveObs(mounts, metahosts, dir, rec)
 	if err != nil {
 		return err
 	}

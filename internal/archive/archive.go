@@ -53,6 +53,46 @@ type FS interface {
 	List(dir string) ([]string, error)
 }
 
+// Sizer is an optional capability of an FS: report a file's size in
+// bytes (or -1 if absent) so readers can allocate their destination
+// buffer in one exact-size allocation. MemFS and DirFS implement it.
+type Sizer interface {
+	Size(p string) int
+}
+
+// ReadFile reads a whole file from fs into memory. When fs implements
+// Sizer, the destination buffer is allocated once at the file's exact
+// size; otherwise it grows geometrically like io.ReadAll.
+func ReadFile(fs FS, p string) ([]byte, error) {
+	f, err := fs.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hint := 512
+	if s, ok := fs.(Sizer); ok {
+		if n := s.Size(p); n >= 0 {
+			hint = n
+		}
+	}
+	// One spare byte keeps the final Read returning (0, io.EOF) from
+	// forcing a growth of an exactly-sized buffer.
+	buf := make([]byte, 0, hint+1)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := f.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
 // Errors returned by MemFS and the protocol.
 var (
 	ErrExist    = errors.New("archive: already exists")

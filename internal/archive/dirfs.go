@@ -101,6 +101,19 @@ func (d *DirFS) Open(p string) (io.ReadCloser, error) {
 	return f, nil
 }
 
+// Size implements Sizer: the file's size in bytes, or -1 if absent.
+func (d *DirFS) Size(p string) int {
+	rp, err := d.resolve(p)
+	if err != nil {
+		return -1
+	}
+	fi, err := os.Stat(rp)
+	if err != nil || fi.IsDir() {
+		return -1
+	}
+	return int(fi.Size())
+}
+
 // List implements FS.
 func (d *DirFS) List(dir string) ([]string, error) {
 	rp, err := d.resolve(dir)

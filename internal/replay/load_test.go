@@ -1,0 +1,204 @@
+package replay
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+	"unsafe"
+
+	"metascope/internal/archive"
+	"metascope/internal/trace"
+)
+
+// unsafeStringData exposes a string's backing pointer so tests can
+// check two equal strings are one interned instance.
+func unsafeStringData(s string) *byte { return unsafe.StringData(s) }
+
+// loadFixture builds a single-FS archive with n well-formed rank
+// traces and returns the mounts and directory.
+func loadFixture(t *testing.T, n int) (*archive.Mounts, archive.FS, string) {
+	t.Helper()
+	fs := archive.NewMemFS("load")
+	mounts := archive.NewMounts()
+	mounts.Mount(0, fs)
+	dir := "epik_parallel"
+	if err := fs.Mkdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		writeRank(t, fs, dir, r)
+	}
+	return mounts, fs, dir
+}
+
+func writeRank(t *testing.T, fs archive.FS, dir string, rank int) {
+	t.Helper()
+	tr := synth(rank, 0, []trace.Event{enter(0, 0), exit(1, 0)})
+	tr.Loc.Rank = rank
+	w, err := fs.Create(archive.TraceFile(dir, rank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+}
+
+func corruptRank(t *testing.T, fs archive.FS, dir string, rank int) {
+	t.Helper()
+	// Valid magic and version, then a header that declares more events
+	// than the remaining bytes can hold — the decode fails mid-flight,
+	// after other workers already started.
+	w, err := fs.Create(archive.TraceFile(dir, rank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("MSCP\x01garbage"))
+	w.Close()
+}
+
+func TestLoadArchiveParallelDecodesAllRanks(t *testing.T) {
+	const n = 16
+	mounts, _, dir := loadFixture(t, n)
+	traces, err := LoadArchive(mounts, []int{0}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != n {
+		t.Fatalf("loaded %d traces, want %d", len(traces), n)
+	}
+	for r, tr := range traces {
+		if tr.Loc.Rank != r {
+			t.Fatalf("slot %d holds rank %d", r, tr.Loc.Rank)
+		}
+	}
+}
+
+func TestLoadArchiveNonDenseRankRange(t *testing.T) {
+	fs := archive.NewMemFS("sparse")
+	mounts := archive.NewMounts()
+	mounts.Mount(0, fs)
+	dir := "epik_sparse"
+	fs.Mkdir(dir)
+	writeRank(t, fs, dir, 0)
+	writeRank(t, fs, dir, 5) // gap: ranks 1..4 missing
+	_, err := LoadArchive(mounts, []int{0}, dir)
+	if err == nil || !strings.Contains(err.Error(), "dense range") {
+		t.Fatalf("non-dense rank range not detected: %v", err)
+	}
+}
+
+func TestLoadArchiveDuplicateRankAcrossFS(t *testing.T) {
+	mounts, _, dir := loadFixture(t, 3)
+	other := archive.NewMemFS("dup")
+	mounts.Mount(1, other)
+	other.Mkdir(dir)
+	writeRank(t, other, dir, 1)
+	_, err := LoadArchive(mounts, []int{0, 1}, dir)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate rank not detected: %v", err)
+	}
+}
+
+// TestLoadArchiveDecodeFailureFirstErrorWins corrupts one rank of a
+// wide archive and checks that (a) the load fails with that rank's
+// decode error on every attempt — first error wins deterministically,
+// independent of which workers were in flight — and (b) the decode
+// pool leaks no goroutines.
+func TestLoadArchiveDecodeFailureFirstErrorWins(t *testing.T) {
+	const n = 16
+	mounts, fs, dir := loadFixture(t, n)
+	corruptRank(t, fs, dir, 7)
+
+	before := runtime.NumGoroutine()
+	var first string
+	for i := 0; i < 25; i++ {
+		_, err := LoadArchive(mounts, []int{0}, dir)
+		if err == nil {
+			t.Fatalf("attempt %d: corrupt archive loaded", i)
+		}
+		if !strings.Contains(err.Error(), "trace.7.mscp") {
+			t.Fatalf("attempt %d: error names wrong file: %v", i, err)
+		}
+		if first == "" {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Fatalf("attempt %d: error changed:\n  first: %s\n  now:   %s", i, first, err.Error())
+		}
+	}
+
+	// Workers must have drained; allow the runtime a moment to retire.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// TestLoadArchiveTwoFailuresLowestWins corrupts two ranks; the
+// reported error must always belong to the lexically-first trace file,
+// not to whichever worker failed first on the clock.
+func TestLoadArchiveTwoFailuresLowestWins(t *testing.T) {
+	const n = 12
+	mounts, fs, dir := loadFixture(t, n)
+	corruptRank(t, fs, dir, 3)
+	corruptRank(t, fs, dir, 9)
+	for i := 0; i < 25; i++ {
+		_, err := LoadArchive(mounts, []int{0}, dir)
+		if err == nil {
+			t.Fatalf("attempt %d: corrupt archive loaded", i)
+		}
+		if !strings.Contains(err.Error(), "trace.3.mscp") {
+			t.Fatalf("attempt %d: want the error of trace.3.mscp, got: %v", i, err)
+		}
+	}
+}
+
+// TestLoadArchiveWrongRankInFile covers the file-content/rank-name
+// mismatch path under the parallel loader.
+func TestLoadArchiveWrongRankInFile(t *testing.T) {
+	mounts, fs, dir := loadFixture(t, 4)
+	// Overwrite trace.2.mscp with a trace claiming rank 3.
+	tr := synth(3, 0, []trace.Event{enter(0, 0), exit(1, 0)})
+	w, err := fs.Create(archive.TraceFile(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, lerr := LoadArchive(mounts, []int{0}, dir)
+	if lerr == nil || !strings.Contains(lerr.Error(), "contains trace of rank 3") {
+		t.Fatalf("rank mismatch not detected: %v", lerr)
+	}
+}
+
+// TestLoadArchiveInternsSharedNames verifies that the loader's shared
+// interner collapses the region and metahost names replicated in every
+// rank's trace file to single string instances.
+func TestLoadArchiveInternsSharedNames(t *testing.T) {
+	const n = 8
+	mounts, _, dir := loadFixture(t, n)
+	traces, err := LoadArchive(mounts, []int{0}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ranks replicate the same region table; interning must make
+	// the name strings share backing storage (pointer-equal headers).
+	for r := 1; r < n; r++ {
+		for i := range traces[r].Regions {
+			a, b := traces[0].Regions[i].Name, traces[r].Regions[i].Name
+			if a != b {
+				t.Fatalf("rank %d region %d name %q != %q", r, i, b, a)
+			}
+			if len(a) > 0 && unsafeStringData(a) != unsafeStringData(b) {
+				t.Errorf("rank %d region %d name %q not interned", r, i, b)
+			}
+		}
+	}
+}

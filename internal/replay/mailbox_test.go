@@ -1,0 +1,161 @@
+package replay
+
+import (
+	"sync"
+	"testing"
+)
+
+func rec(comm, src, tag int32, bytes int64) sendRecord {
+	return sendRecord{comm: comm, srcWorld: src, tag: tag, bytes: bytes}
+}
+
+func TestMailboxFIFOPerSignature(t *testing.T) {
+	mb := newMailbox()
+	mb.put(rec(0, 1, 7, 100))
+	mb.put(rec(0, 1, 7, 200))
+	mb.put(rec(0, 1, 7, 300))
+	for i, want := range []int64{100, 200, 300} {
+		if got := mb.take(0, 1, 7); got.bytes != want {
+			t.Fatalf("take %d: bytes = %d, want %d", i, got.bytes, want)
+		}
+	}
+}
+
+func TestMailboxSignaturesAreIndependent(t *testing.T) {
+	mb := newMailbox()
+	// Interleave four signatures; each must match only its own cell.
+	mb.put(rec(0, 1, 1, 11))
+	mb.put(rec(0, 2, 1, 21)) // different source
+	mb.put(rec(0, 1, 2, 12)) // different tag
+	mb.put(rec(1, 1, 1, 31)) // different communicator
+	if got := mb.take(1, 1, 1); got.bytes != 31 {
+		t.Errorf("comm 1 take = %d, want 31", got.bytes)
+	}
+	if got := mb.take(0, 1, 2); got.bytes != 12 {
+		t.Errorf("tag 2 take = %d, want 12", got.bytes)
+	}
+	if got := mb.take(0, 2, 1); got.bytes != 21 {
+		t.Errorf("src 2 take = %d, want 21", got.bytes)
+	}
+	if got := mb.take(0, 1, 1); got.bytes != 11 {
+		t.Errorf("src 1 take = %d, want 11", got.bytes)
+	}
+}
+
+// TestMailboxTakeReleasesMatchedRecords is the regression test for the
+// old scan-and-splice take, whose append(msgs[:i], msgs[i+1:]...) left
+// a dead copy of the last record alive in the slice's spare capacity.
+// After a take, the mailbox's backing storage must hold no trace of
+// the matched record.
+func TestMailboxTakeReleasesMatchedRecords(t *testing.T) {
+	mb := newMailbox()
+	s := sig{comm: 0, src: 1, tag: 7}
+	mb.put(rec(0, 1, 7, 42))
+	mb.put(rec(0, 1, 7, 43))
+	mb.put(rec(0, 1, 7, 44))
+	if got := mb.take(0, 1, 7); got.bytes != 42 {
+		t.Fatalf("take = %d, want 42", got.bytes)
+	}
+
+	mb.mu.Lock()
+	c, ok := mb.q[s]
+	if !ok {
+		t.Fatal("signature cell vanished with records pending")
+	}
+	if c.count != 2 || c.first.bytes != 43 {
+		t.Fatalf("cell after take: count=%d first=%d, want 2/43", c.count, c.first.bytes)
+	}
+	// Every shifted spill slot — and the spare capacity beyond the live
+	// window — must be zeroed.
+	zero := sendRecord{}
+	for i := 0; i < c.head; i++ {
+		if c.rest[i] != zero {
+			t.Errorf("spill slot %d still holds matched record %+v", i, c.rest[i])
+		}
+	}
+	for _, r := range c.rest[len(c.rest):cap(c.rest)] {
+		if r != zero {
+			t.Errorf("spare spill capacity holds dead record %+v", r)
+		}
+	}
+	mb.mu.Unlock()
+
+	// Draining the signature deletes its cell outright — no cached
+	// state (and no reference to any record) survives.
+	mb.take(0, 1, 7)
+	mb.take(0, 1, 7)
+	mb.mu.Lock()
+	if _, ok := mb.q[s]; ok {
+		t.Error("drained signature still has a cell in the mailbox")
+	}
+	if len(mb.q) != 0 {
+		t.Errorf("drained mailbox holds %d cells", len(mb.q))
+	}
+	mb.mu.Unlock()
+}
+
+// TestMailboxBlockingTake checks that a take posted before the
+// matching put blocks and is woken by it — receivers may replay ahead
+// of their senders.
+func TestMailboxBlockingTake(t *testing.T) {
+	mb := newMailbox()
+	got := make(chan sendRecord, 1)
+	go func() { got <- mb.take(0, 1, 9) }()
+	mb.put(rec(0, 1, 9, 77))
+	if r := <-got; r.bytes != 77 {
+		t.Fatalf("blocked take = %d, want 77", r.bytes)
+	}
+}
+
+// TestMailboxConcurrentPairs drives many sender/receiver pairs through
+// one mailbox concurrently; under -race this checks the cell shuffling
+// in put/take against simultaneous access from both sides.
+func TestMailboxConcurrentPairs(t *testing.T) {
+	const senders = 8
+	const msgs = 200
+	mb := newMailbox()
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int32) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				mb.put(rec(0, s, s%3, int64(i)))
+			}
+		}(int32(s))
+	}
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int32) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				if got := mb.take(0, s, s%3); got.bytes != int64(i) {
+					t.Errorf("src %d take %d: bytes = %d, want %d", s, i, got.bytes, i)
+					return
+				}
+			}
+		}(int32(s))
+	}
+	wg.Wait()
+}
+
+// TestMailboxVaryingPairsStaysCompact replays the clockbench
+// varying-pairs pattern — every signature used exactly once — and
+// checks the mailbox does not accumulate state: drained cells are
+// deleted, so the signature map stays at its floor no matter how many
+// distinct pairs pass through.
+func TestMailboxVaryingPairsStaysCompact(t *testing.T) {
+	mb := newMailbox()
+	for src := int32(0); src < 1000; src++ {
+		mb.put(rec(0, src, 4100, int64(src)))
+		if got := mb.take(0, src, 4100); got.bytes != int64(src) {
+			t.Fatalf("src %d: bytes = %d", src, got.bytes)
+		}
+	}
+	mb.mu.Lock()
+	n := len(mb.q)
+	mb.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("mailbox retains %d cells after 1000 drained pairs", n)
+	}
+}

@@ -29,49 +29,102 @@ type sendRecord struct {
 	srcCP       int     // sender-local call-path id of the MPI call
 }
 
-// mailbox is the unbounded, order-preserving channel between one pair
-// of analysis processes... in fact one per *receiver*, since matching
-// needs to scan across sources. put never blocks (the original
-// application's standard-mode sends were buffered), so replay cannot
-// deadlock if the traced application completed.
+// mailbox is the unbounded, order-preserving channel delivering send
+// records to one *receiver's* analysis process. put never blocks (the
+// original application's standard-mode sends were buffered), so replay
+// cannot deadlock if the traced application completed.
+//
+// Records are sharded per receiver and, inside a receiver's mailbox,
+// keyed by exact matching signature (comm, src, tag). Matching is
+// therefore O(1) amortized — the receiver pops the head of its
+// signature's FIFO instead of scanning a shared slice — and a put only
+// touches the destination rank's mailbox, so workers replaying
+// disjoint receivers never contend.
+//
+// The FIFOs are value cells inside the signature map, with the first
+// pending record stored inline and a spill slice used only when a
+// signature bursts. A signature that alternates put/take — the common
+// varying-pairs pattern, where thousands of (sender, receiver) pairs
+// each exchange a handful of messages — therefore costs no per-pair
+// heap objects at all: drained cells are deleted, and the map reuses
+// their buckets.
 type mailbox struct {
 	mu   sync.Mutex
-	cond *sync.Cond
-	msgs []sendRecord
+	cond sync.Cond // signaled by put; the receiver is the only waiter
+	q    map[sig]cell
+}
+
+// sig is the exact matching signature within one receiver's mailbox.
+type sig struct {
+	comm int32
+	src  int32 // sender world rank
+	tag  int32
+}
+
+// cell is the FIFO of pending send records of one signature. Records
+// from one sender arrive in that sender's event order, so the n-th
+// take of a signature yields the n-th send — the same pairing the
+// message-passing layer produced, because its transport is FIFO per
+// process pair.
+type cell struct {
+	count int        // live records: first plus rest[head:]
+	first sendRecord // the oldest pending record, inline
+	rest  []sendRecord
+	head  int
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
+	mb := &mailbox{q: make(map[sig]cell, 8)}
+	mb.cond.L = &mb.mu
 	return mb
 }
 
 func (mb *mailbox) put(r sendRecord) {
+	s := sig{comm: r.comm, src: r.srcWorld, tag: r.tag}
 	mb.mu.Lock()
-	mb.msgs = append(mb.msgs, r)
+	c := mb.q[s]
+	if c.count == 0 {
+		c.first = r
+	} else {
+		c.rest = append(c.rest, r)
+	}
+	c.count++
+	mb.q[s] = c
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
 }
 
 // take blocks until a record with the exact signature (comm, source
-// world rank, tag) is available and removes the first such record.
-// Records from one sender arrive in that sender's event order, so the
-// n-th take of a signature yields the n-th send — the same pairing the
-// message-passing layer produced, because its transport is FIFO per
-// process pair.
+// world rank, tag) is available and removes the oldest such record.
+// Once matched, the record is gone from the mailbox: a drained
+// signature's cell is deleted outright, and a shifted spill slot is
+// zeroed, so the backing storage holds no reference to matched records
+// (the old scan-and-splice left dead records alive in the slice's
+// spare capacity).
 func (mb *mailbox) take(comm, srcWorld, tag int32) sendRecord {
+	s := sig{comm: comm, src: srcWorld, tag: tag}
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		for i := range mb.msgs {
-			m := mb.msgs[i]
-			if m.comm == comm && m.srcWorld == srcWorld && m.tag == tag {
-				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
-				return m
-			}
-		}
+	c := mb.q[s]
+	for c.count == 0 {
 		mb.cond.Wait()
+		c = mb.q[s]
 	}
+	r := c.first
+	c.count--
+	if c.count == 0 {
+		delete(mb.q, s)
+	} else {
+		c.first = c.rest[c.head]
+		c.rest[c.head] = sendRecord{}
+		c.head++
+		if c.head == len(c.rest) {
+			c.rest = c.rest[:0]
+			c.head = 0
+		}
+		mb.q[s] = c
+	}
+	mb.mu.Unlock()
+	return r
 }
 
 // collGather coordinates the members of one collective instance: every
@@ -86,9 +139,15 @@ type collGather struct {
 	done    chan struct{}
 }
 
-type collKey struct {
-	comm int32
-	seq  int
+// collDomain shards the collective-gather state by communicator: each
+// communicator carries its own lock and its own map of in-flight
+// instances (keyed by per-communicator sequence number), so collectives
+// on disjoint communicators never serialize on a shared mutex. The
+// domain map itself is built before the workers start and is read-only
+// during replay.
+type collDomain struct {
+	mu      sync.Mutex
+	gathers map[int]*collGather
 }
 
 // remoteContribution attributes a severity detected on one analysis
@@ -210,8 +269,7 @@ type analyzer struct {
 	cfg    Config
 
 	mailboxes []*mailbox
-	collMu    sync.Mutex
-	colls     map[collKey]*collGather
+	colls     map[int32]*collDomain
 
 	remoteMu sync.Mutex
 	remote   []remoteContribution
@@ -234,7 +292,7 @@ func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int3
 		comms:     comms,
 		cfg:       cfg,
 		mailboxes: make([]*mailbox, len(traces)),
-		colls:     make(map[collKey]*collGather),
+		colls:     make(map[int32]*collDomain, len(comms)),
 		results:   make([]*rankResult, len(traces)),
 		corrs:     corr,
 	}
@@ -243,6 +301,9 @@ func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int3
 	}
 	for i := range a.mailboxes {
 		a.mailboxes[i] = newMailbox()
+	}
+	for id := range comms {
+		a.colls[id] = &collDomain{gathers: make(map[int]*collGather)}
 	}
 	return a
 }
@@ -278,28 +339,34 @@ func (a *analyzer) run() {
 }
 
 // gatherColl coordinates one collective instance and returns the
-// completed gather.
-func (a *analyzer) gatherColl(key collKey, size, commRank int, enter, exit float64, mh int) *collGather {
-	a.collMu.Lock()
-	g, ok := a.colls[key]
+// completed gather. Only the instance's own communicator domain is
+// locked, so collectives on other communicators proceed concurrently.
+func (a *analyzer) gatherColl(comm int32, seq, size, commRank int, enter, exit float64, mh int) *collGather {
+	d := a.colls[comm]
+	d.mu.Lock()
+	g, ok := d.gathers[seq]
 	if !ok {
+		// One backing array for both time vectors halves the gather's
+		// allocation count; the instance is created by whichever member
+		// replays its CollExit first.
+		times := make([]float64, 2*size)
 		g = &collGather{
-			enters: make([]float64, size),
-			exits:  make([]float64, size),
+			enters: times[:size:size],
+			exits:  times[size:],
 			mhs:    make([]int, size),
 			done:   make(chan struct{}),
 		}
-		a.colls[key] = g
+		d.gathers[seq] = g
 	}
 	g.enters[commRank] = enter
 	g.exits[commRank] = exit
 	g.mhs[commRank] = mh
 	g.arrived++
 	if g.arrived == size {
-		delete(a.colls, key)
+		delete(d.gathers, seq)
 		close(g.done)
 	}
-	a.collMu.Unlock()
+	d.mu.Unlock()
 	<-g.done
 	return g
 }
@@ -333,6 +400,17 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 		regions[t.Regions[i].ID] = &t.Regions[i]
 	}
 	collSeq := make(map[int32]int)
+
+	// One receive-log entry is appended per Recv event; sizing the log
+	// exactly up front avoids the doubling reallocations that dominated
+	// the analyzer's allocation profile.
+	nrecv := 0
+	for i := range t.Events {
+		if t.Events[i].Kind == trace.KindRecv {
+			nrecv++
+		}
+	}
+	rr.recvLog = make([]recvInfo, 0, nrecv)
 
 	// delta is the forward timestamp-repair shift (controlled logical
 	// clock): non-decreasing, applied to every event from the moment a
@@ -495,7 +573,7 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 			rr.acc[top.cp].bytesSent += float64(ev.Bytes)
 			seq := collSeq[ev.Comm]
 			collSeq[ev.Comm] = seq + 1
-			g := a.gatherColl(collKey{comm: ev.Comm, seq: seq}, len(def), commRank, top.enter, ct, myMH)
+			g := a.gatherColl(ev.Comm, seq, len(def), commRank, top.enter, ct, myMH)
 			rr.colls++
 			rr.replayBytes += collGatherWire
 			for _, wr := range def {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // The binary trace format ("MSCP"): a little-endian, varint-based
@@ -72,20 +73,80 @@ func (e *encoder) byte(b byte) {
 	e.err = e.w.WriteByte(b)
 }
 
-type decoder struct {
-	r   *bufio.Reader
-	err error
+// Interner deduplicates strings that repeat across decoded traces.
+// Every rank's trace replicates the same region table and metahost
+// names, so decoding an archive of N ranks without interning holds N
+// copies of every name. An Interner shared across decodes (safe for
+// concurrent use) keeps exactly one.
+type Interner struct {
+	mu sync.Mutex
+	m  map[string]string
 }
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner { return &Interner{m: make(map[string]string)} }
+
+// intern returns the canonical string for b, allocating only on first
+// sight. The map lookup with a string(b) key does not allocate.
+func (in *Interner) intern(b []byte) string {
+	in.mu.Lock()
+	s, ok := in.m[string(b)]
+	if !ok {
+		s = string(b)
+		in.m[s] = s
+	}
+	in.mu.Unlock()
+	return s
+}
+
+// Len returns the number of distinct strings interned so far.
+func (in *Interner) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.m)
+}
+
+// decoder reads the MSCP format directly from a byte slice: varints,
+// floats, and strings are decoded without per-byte reader calls, and
+// every declared count is validated against the remaining input before
+// anything is allocated, so a corrupt header cannot make the analyzer
+// allocate unbounded memory.
+type decoder struct {
+	data   []byte
+	pos    int
+	err    error
+	intern *Interner
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.pos }
 
 func (d *decoder) u64() uint64 {
 	if d.err != nil {
 		return 0
 	}
-	v, err := binary.ReadUvarint(d.r)
-	if err != nil {
-		d.err = fmt.Errorf("trace: truncated varint: %w", err)
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		if d.pos >= len(d.data) {
+			d.err = fmt.Errorf("trace: truncated varint: %w", io.ErrUnexpectedEOF)
+			return 0
+		}
+		b := d.data[d.pos]
+		d.pos++
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				d.err = errors.New("trace: varint overflows 64 bits")
+				return 0
+			}
+			return v | uint64(b)<<shift
+		}
+		if i == 9 {
+			d.err = errors.New("trace: varint overflows 64 bits")
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
 	}
-	return v
 }
 
 func (d *decoder) i64() int64 {
@@ -97,12 +158,13 @@ func (d *decoder) f64() float64 {
 	if d.err != nil {
 		return 0
 	}
-	var b [8]byte
-	if _, err := io.ReadFull(d.r, b[:]); err != nil {
-		d.err = fmt.Errorf("trace: truncated float: %w", err)
+	if d.remaining() < 8 {
+		d.err = fmt.Errorf("trace: truncated float: %w", io.ErrUnexpectedEOF)
 		return 0
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v
 }
 
 func (d *decoder) str() string {
@@ -114,10 +176,14 @@ func (d *decoder) str() string {
 		d.err = fmt.Errorf("trace: implausible string length %d", n)
 		return ""
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(d.r, b); err != nil {
-		d.err = fmt.Errorf("trace: truncated string: %w", err)
+	if int(n) > d.remaining() {
+		d.err = fmt.Errorf("trace: truncated string: %w", io.ErrUnexpectedEOF)
 		return ""
+	}
+	b := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	if d.intern != nil {
+		return d.intern.intern(b)
 	}
 	return string(b)
 }
@@ -126,11 +192,34 @@ func (d *decoder) byte() byte {
 	if d.err != nil {
 		return 0
 	}
-	b, err := d.r.ReadByte()
-	if err != nil {
-		d.err = fmt.Errorf("trace: truncated byte: %w", err)
+	if d.pos >= len(d.data) {
+		d.err = fmt.Errorf("trace: truncated byte: %w", io.ErrUnexpectedEOF)
+		return 0
 	}
+	b := d.data[d.pos]
+	d.pos++
 	return b
+}
+
+// checkCount validates a declared element count against the remaining
+// input, given the minimum encoded size of one element. The count cap
+// rejects absurd headers even on huge inputs; the remaining-input bound
+// rejects counts a truncated or corrupted file cannot possibly satisfy
+// BEFORE the corresponding slice is allocated.
+func (d *decoder) checkCount(what string, n uint64, minBytes, cap int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n > uint64(cap) {
+		d.err = fmt.Errorf("trace: implausible %s count %d", what, n)
+		return false
+	}
+	if int(n)*minBytes > d.remaining() {
+		d.err = fmt.Errorf("trace: declared %s count %d exceeds remaining input (%d bytes)",
+			what, n, d.remaining())
+		return false
+	}
+	return true
 }
 
 func encodeMeasurement(e *encoder, m [3]float64) {
@@ -222,13 +311,35 @@ func (t *Trace) Encode(w io.Writer) error {
 }
 
 // Decode reads one trace from r. It fails with ErrBadMagic on foreign
-// input and with a descriptive error on truncation or corruption.
+// input and with a descriptive error on truncation or corruption. The
+// stream is read fully into memory and decoded with DecodeBytes; when
+// the data is already in memory, call DecodeBytes directly.
 func Decode(r io.Reader) (*Trace, error) {
-	d := &decoder{r: bufio.NewReader(r)}
-	var m [4]byte
-	if _, err := io.ReadFull(d.r, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading stream: %w", err)
 	}
+	return DecodeBytes(data)
+}
+
+// DecodeBytes decodes one trace from an in-memory MSCP image.
+func DecodeBytes(data []byte) (*Trace, error) { return DecodeBytesInterned(data, nil) }
+
+// DecodeBytesInterned is DecodeBytes with the trace's strings (region
+// and metahost names) canonicalized through in, so traces decoded with
+// a shared interner share one copy of each repeated name. A nil
+// interner disables interning.
+func DecodeBytesInterned(data []byte, in *Interner) (*Trace, error) {
+	d := &decoder{data: data, intern: in}
+	if len(data) < len(magic) {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("trace: reading magic: %w", io.EOF)
+		}
+		return nil, fmt.Errorf("trace: reading magic: %w", io.ErrUnexpectedEOF)
+	}
+	var m [4]byte
+	copy(m[:], data)
+	d.pos = len(magic)
 	if m != magic {
 		return nil, ErrBadMagic
 	}
@@ -258,12 +369,21 @@ func Decode(r io.Reader) (*Trace, error) {
 	s.MasterStart.Local, s.MasterStart.Offset, s.MasterStart.Err = read3()
 	s.MasterEnd.Local, s.MasterEnd.Offset, s.MasterEnd.Err = read3()
 
+	// Minimum encoded sizes, used to bound every declared count against
+	// the bytes actually present: a region is an id varint, a kind byte,
+	// and a name-length varint; a communicator is an id varint and a
+	// member-count varint; a rank is one varint; an event is a kind byte
+	// and an 8-byte time stamp.
+	const (
+		minRegionBytes = 3
+		minCommBytes   = 2
+		minRankBytes   = 1
+		minEventBytes  = 9
+	)
+
 	nr := d.u64()
-	if d.err != nil {
+	if !d.checkCount("region", nr, minRegionBytes, 1<<20) {
 		return nil, d.err
-	}
-	if nr > 1<<20 {
-		return nil, fmt.Errorf("trace: implausible region count %d", nr)
 	}
 	t.Regions = make([]Region, nr)
 	for i := range t.Regions {
@@ -273,34 +393,25 @@ func Decode(r io.Reader) (*Trace, error) {
 	}
 
 	nc := d.u64()
-	if d.err != nil {
+	if !d.checkCount("communicator", nc, minCommBytes, 1<<20) {
 		return nil, d.err
-	}
-	if nc > 1<<20 {
-		return nil, fmt.Errorf("trace: implausible communicator count %d", nc)
 	}
 	t.Comms = make([]CommDef, nc)
 	for i := range t.Comms {
 		t.Comms[i].ID = int32(d.i64())
-		nr := d.u64()
-		if d.err != nil {
+		nm := d.u64()
+		if !d.checkCount("communicator member", nm, minRankBytes, 1<<24) {
 			return nil, d.err
 		}
-		if nr > 1<<24 {
-			return nil, fmt.Errorf("trace: implausible communicator size %d", nr)
-		}
-		t.Comms[i].Ranks = make([]int32, nr)
+		t.Comms[i].Ranks = make([]int32, nm)
 		for j := range t.Comms[i].Ranks {
 			t.Comms[i].Ranks[j] = int32(d.i64())
 		}
 	}
 
 	ne := d.u64()
-	if d.err != nil {
+	if !d.checkCount("event", ne, minEventBytes, 1<<28) {
 		return nil, d.err
-	}
-	if ne > 1<<28 {
-		return nil, fmt.Errorf("trace: implausible event count %d", ne)
 	}
 	t.Events = make([]Event, ne)
 	for i := range t.Events {

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"metascope/internal/vclock"
+)
+
+// encodedSeeds returns encoded example traces covering every event
+// kind, used both as fuzz seeds and in the hardening tests.
+func encodedSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	seeds := []*Trace{
+		sampleTrace(),
+		{Loc: Location{MetahostName: "tiny"}},
+		{
+			Loc: Location{Rank: 1, Metahost: 2, MetahostName: "FZJ", Node: 3, CPU: 0},
+			Sync: SyncData{
+				FlatStart: vclock.Measurement{Local: 0, Offset: 0.5, Err: 1e-6},
+				FlatEnd:   vclock.Measurement{Local: 9, Offset: 0.6, Err: 1e-6},
+			},
+			Regions: []Region{{ID: 0, Name: "main", Kind: RegionUser}},
+			Comms:   []CommDef{{ID: 0, Ranks: []int32{0, 1}}},
+			Events: []Event{
+				{Kind: KindEnter, Time: 0, Region: 0},
+				{Kind: KindSend, Time: 1, Comm: 0, Peer: 1, Tag: -3, Bytes: 1 << 20},
+				{Kind: KindRecv, Time: 2, Comm: 0, Peer: 1, Tag: 9, Bytes: 16},
+				{Kind: KindCollExit, Time: 3, Comm: 0, Coll: CollAllreduce, Root: -1, Bytes: 8},
+				{Kind: KindExit, Time: 4, Region: 0},
+			},
+		},
+	}
+	var out [][]byte
+	for _, tr := range seeds {
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
+}
+
+// FuzzDecode feeds arbitrary bytes to the slice decoder. Whatever the
+// input, Decode must return cleanly — no panics, no runaway
+// allocations from corrupt headers — and anything it accepts must
+// survive a re-encode/re-decode round trip.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range encodedSeeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MSCP"))
+	f.Add([]byte("MSCP\x01"))
+	f.Add([]byte("not a trace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("decoded trace failed to re-encode: %v", err)
+		}
+		again, err := DecodeBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if len(again.Events) != len(tr.Events) || len(again.Regions) != len(tr.Regions) {
+			t.Fatalf("round trip changed shape: %d/%d events, %d/%d regions",
+				len(tr.Events), len(again.Events), len(tr.Regions), len(again.Regions))
+		}
+	})
+}
+
+// corruptVarint overwrites the varint at off with the given value,
+// keeping the rest of the image intact (the new varint must use the
+// same byte length as the old one for the tail to stay aligned; the
+// tests pick offsets where that holds).
+func putUvarintAt(data []byte, off int, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	_, oldLen := binary.Uvarint(data[off:])
+	out := append([]byte{}, data[:off]...)
+	out = append(out, tmp[:n]...)
+	return append(out, data[off+oldLen:]...)
+}
+
+// TestDecodeRejectsOversizedCounts corrupts each count header of a
+// valid image to a value the remaining bytes cannot satisfy; the
+// decoder must fail before allocating the declared amount.
+func TestDecodeRejectsOversizedCounts(t *testing.T) {
+	img := encodedSeeds(t)[0]
+
+	// Locate the section offsets by re-decoding with a tracking decoder.
+	d := &decoder{data: img}
+	d.pos = 5 // magic + version
+	d.i64()   // rank
+	d.i64()   // metahost
+	d.i64()   // node
+	d.i64()   // cpu
+	d.str()   // metahost name
+	d.i64()   // global master
+	d.i64()   // local master
+	d.byte()  // shared clock
+	for i := 0; i < 18; i++ {
+		d.f64()
+	}
+	regionCountOff := d.pos
+	if d.err != nil {
+		t.Fatal(d.err)
+	}
+
+	// A region count far beyond the remaining input must be rejected
+	// with a bounded error, not an allocation.
+	bad := putUvarintAt(img, regionCountOff, 1<<19)
+	if _, err := DecodeBytes(bad); err == nil ||
+		!strings.Contains(err.Error(), "exceeds remaining input") {
+		t.Fatalf("oversized region count accepted: %v", err)
+	}
+	// Beyond the absolute cap: "implausible".
+	bad = putUvarintAt(img, regionCountOff, 1<<40)
+	if _, err := DecodeBytes(bad); err == nil ||
+		!strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("implausible region count accepted: %v", err)
+	}
+}
+
+// TestDecodeRejectsOversizedEventCount truncates a valid image right
+// after an inflated event count: the declared count must be validated
+// against the remaining bytes before make([]Event, ne) runs.
+func TestDecodeRejectsOversizedEventCount(t *testing.T) {
+	// Build a trace with no regions/comms/events, so the event count is
+	// the last varint of the image.
+	var buf bytes.Buffer
+	if err := (&Trace{Loc: Location{MetahostName: "x"}}).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	eventCountOff := len(img) - 1 // trailing zero varint
+	bad := putUvarintAt(img, eventCountOff, 1<<27)
+	if _, err := DecodeBytes(bad); err == nil ||
+		!strings.Contains(err.Error(), "exceeds remaining input") {
+		t.Fatalf("oversized event count accepted: %v", err)
+	}
+	bad = putUvarintAt(img, eventCountOff, 1<<30)
+	if _, err := DecodeBytes(bad); err == nil ||
+		!strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("implausible event count accepted: %v", err)
+	}
+}
+
+// TestDecodeBytesInterned checks that two decodes through one interner
+// share region-name storage, and that a nil interner still works.
+func TestDecodeBytesInterned(t *testing.T) {
+	img := encodedSeeds(t)[0]
+	in := NewInterner()
+	a, err := DecodeBytesInterned(img, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeBytesInterned(img, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() == 0 {
+		t.Fatal("interner saw no strings")
+	}
+	for i := range a.Regions {
+		if a.Regions[i].Name != b.Regions[i].Name {
+			t.Fatalf("region %d name mismatch", i)
+		}
+	}
+	if a.Loc.MetahostName != b.Loc.MetahostName {
+		t.Fatal("metahost name mismatch")
+	}
+	// Same image through a nil interner must decode identically.
+	c, err := DecodeBytesInterned(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Loc.MetahostName != a.Loc.MetahostName {
+		t.Fatal("nil-interner decode diverged")
+	}
+}

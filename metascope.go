@@ -214,7 +214,7 @@ func (e *Experiment) Run(body func(m *measure.M)) error {
 
 // Traces loads the local trace files back from the archives.
 func (e *Experiment) Traces() ([]*trace.Trace, error) {
-	return replay.LoadArchive(e.mounts, e.Place.MetahostsUsed(), e.ArchiveDir)
+	return replay.LoadArchiveObs(e.mounts, e.Place.MetahostsUsed(), e.ArchiveDir, e.Obs)
 }
 
 // Analyze runs the parallel replay analysis under the given

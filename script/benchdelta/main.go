@@ -1,0 +1,183 @@
+// benchdelta compares two `go test -json` benchmark captures and
+// prints, per benchmark, the delta of ns/op, B/op, and allocs/op
+// against the baseline:
+//
+//	go run ./script/benchdelta -base BENCH_replay.prev.json BENCH_replay.json
+//
+// A missing or unreadable baseline is not an error — the tool prints
+// the current numbers without deltas, so `make bench` works on a fresh
+// checkout. Exit status is always 0 unless the current file itself is
+// unreadable; the tool reports regressions, it does not gate on them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark's measurements keyed by unit ("ns/op",
+// "B/op", "allocs/op", plus any custom ReportMetric units).
+type result struct {
+	name  string
+	units map[string]float64
+}
+
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// parseFile extracts benchmark results from a `go test -json` stream.
+// The test runner splits each benchmark across two output events: the
+// name (ending in a tab, no newline), then the measurement line:
+//
+//	{"Action":"output","Output":"BenchmarkParallelReplay \t"}
+//	{"Action":"output","Output":"  60\t 21032146 ns/op\t 4156430 B/op\t 6106 allocs/op\n"}
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pending := "" // benchmark name waiting for its measurement line
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate plain-text lines mixed in
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		fields := strings.Fields(ev.Output)
+		if strings.HasPrefix(ev.Output, "Benchmark") {
+			// A name-only event ends in a tab (measurements follow in
+			// the next event); a one-line result carries both.
+			if strings.HasSuffix(ev.Output, "\t") && len(fields) == 1 {
+				pending = benchName(fields[0])
+				continue
+			}
+			if len(fields) >= 4 {
+				if r := parseMeasurements(benchName(fields[0]), fields[1:]); r != nil {
+					out[r.name] = *r
+				}
+			}
+			pending = ""
+			continue
+		}
+		if pending == "" {
+			continue
+		}
+		if r := parseMeasurements(pending, fields); r != nil {
+			out[pending] = *r
+		}
+		pending = ""
+	}
+	return out, sc.Err()
+}
+
+// benchName strips the -N GOMAXPROCS suffix so runs on different
+// machines still line up.
+func benchName(s string) string {
+	if i := strings.LastIndex(s, "-"); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseMeasurements parses "iterations (value unit)..." fields into a
+// result, or nil if the fields are not a benchmark measurement line.
+func parseMeasurements(name string, fields []string) *result {
+	if len(fields) < 3 {
+		return nil
+	}
+	if _, err := strconv.Atoi(fields[0]); err != nil {
+		return nil
+	}
+	r := result{name: name, units: make(map[string]float64)}
+	for i := 1; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		r.units[fields[i+1]] = v
+	}
+	if len(r.units) == 0 {
+		return nil
+	}
+	return &r
+}
+
+func delta(cur, base float64) string {
+	if base == 0 {
+		return ""
+	}
+	pct := (cur - base) / base * 100
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline go test -json capture (optional)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta [-base old.json] current.json")
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+		os.Exit(1)
+	}
+	var base map[string]result
+	if *basePath != "" {
+		if base, err = parseFile(*basePath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdelta: no baseline (%v); showing current only\n", err)
+			base = nil
+		}
+	}
+
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-36s %14s %9s %14s %9s %12s %9s\n",
+		"benchmark", "ns/op", "Δ", "B/op", "Δ", "allocs/op", "Δ")
+	for _, n := range names {
+		c := cur[n]
+		var b result
+		if base != nil {
+			b = base[n]
+		}
+		row := func(unit string) (string, string) {
+			cv, ok := c.units[unit]
+			if !ok {
+				return "-", ""
+			}
+			d := ""
+			if b.units != nil {
+				if bv, ok := b.units[unit]; ok {
+					d = delta(cv, bv)
+				}
+			}
+			return strconv.FormatFloat(cv, 'f', -1, 64), d
+		}
+		ns, dns := row("ns/op")
+		bb, dbb := row("B/op")
+		al, dal := row("allocs/op")
+		fmt.Fprintf(w, "%-36s %14s %9s %14s %9s %12s %9s\n", n, ns, dns, bb, dbb, al, dal)
+	}
+}

@@ -26,4 +26,9 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# One iteration of every benchmark: catches benchmarks that rot (fail
+# to compile or crash) without paying for a real measurement run.
+echo "== go test -bench . -benchtime=1x (smoke)"
+go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+
 echo "check: all green"
