@@ -1,9 +1,17 @@
 # Convenience entry points; see script/check.sh for the tier-1 gate.
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench conformance fuzz
 
 check: ## gofmt + vet + build + race-enabled tests (tier-1 gate)
 	./script/check.sh
+
+conformance: ## analytic-oracle suite over a wider seed sweep (the short tier runs inside `make check`)
+	METASCOPE_CONFORMANCE_SEEDS=$(or $(SEEDS),8) go test ./internal/conformance -count=1 -v -run 'TestOracle|TestMutationSensitivity'
+	go test ./internal/conformance -count=1 -run 'TestMetamorphic|TestFault'
+
+FUZZTIME ?= 10s
+fuzz: ## coverage-guided fuzzing of the trace decoder (seed corpus alone runs in plain `go test`); FUZZTIME=5m for a long local run
+	go test ./internal/trace -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 
 build:
 	go build ./...

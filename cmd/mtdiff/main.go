@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -38,15 +39,15 @@ func load(path string) (*cube.Report, error) {
 // prints, per series, the total difference and the single interval
 // where the runs diverge most — the time-resolved answer to "where did
 // run b get slower".
-func runProfile(out string) error {
-	if flag.NArg() != 2 {
+func runProfile(out string, args []string, w io.Writer) error {
+	if len(args) != 2 {
 		return fmt.Errorf("usage: mtdiff -profile [-o out.json] a-profile.json b-profile.json")
 	}
-	a, err := profile.ReadFile(flag.Arg(0))
+	a, err := profile.ReadFile(args[0])
 	if err != nil {
 		return err
 	}
-	b, err := profile.ReadFile(flag.Arg(1))
+	b, err := profile.ReadFile(args[1])
 	if err != nil {
 		return err
 	}
@@ -54,9 +55,9 @@ func runProfile(out string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("profile diff: %s\n", d.Title)
-	fmt.Printf("%d buckets of %gs from t=%gs\n\n", d.Buckets, d.BucketWidth, d.Origin)
-	fmt.Printf("  %-45s %-12s %4s %12s %18s\n", "metric", "metahost", "rank", "total Δ", "max |Δ| interval")
+	fmt.Fprintf(w, "profile diff: %s\n", d.Title)
+	fmt.Fprintf(w, "%d buckets of %gs from t=%gs\n\n", d.Buckets, d.BucketWidth, d.Origin)
+	fmt.Fprintf(w, "  %-45s %-12s %4s %12s %18s\n", "metric", "metahost", "rank", "total Δ", "max |Δ| interval")
 	for _, s := range d.Series {
 		total, maxAbs, maxIdx := 0.0, 0.0, 0
 		for i, v := range s.Values {
@@ -73,24 +74,24 @@ func runProfile(out string) error {
 			mh = fmt.Sprintf("%d", s.Metahost)
 		}
 		left := d.Origin + float64(maxIdx)*d.BucketWidth
-		fmt.Printf("  %-45s %-12s %4d %+12.4g %+9.4g @ [%.4g, %.4g)s\n",
+		fmt.Fprintf(w, "  %-45s %-12s %4d %+12.4g %+9.4g @ [%.4g, %.4g)s\n",
 			s.Metric, mh, s.Rank, total, s.Values[maxIdx], left, left+d.BucketWidth)
 	}
 	if out != "" {
 		if err := d.WriteFile(out); err != nil {
 			return err
 		}
-		fmt.Printf("\ndiff profile written to %s\n", out)
+		fmt.Fprintf(w, "\ndiff profile written to %s\n", out)
 	}
 	return nil
 }
 
-func run(cli *obs.CLIConfig, op, out string) error {
-	if flag.NArg() < 2 {
+func run(rec *obs.Recorder, op, out string, args []string, w io.Writer) error {
+	if len(args) < 2 {
 		return fmt.Errorf("usage: mtdiff [-op diff|merge|mean] [-o out.cube] a.cube b.cube [more.cube ...]")
 	}
-	reports := make([]*cube.Report, flag.NArg())
-	for i, p := range flag.Args() {
+	reports := make([]*cube.Report, len(args))
+	for i, p := range args {
 		r, err := load(p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", p, err)
@@ -120,8 +121,8 @@ func run(cli *obs.CLIConfig, op, out string) error {
 		return fmt.Errorf("unknown op %q", op)
 	}
 
-	span := cli.Recorder().Phases.Start("render")
-	fmt.Printf("result: %s\n\n", res.Title)
+	span := obs.OrDefault(rec).Phases.Start("render")
+	fmt.Fprintf(w, "result: %s\n\n", res.Title)
 	// For a diff, percentages against "total time" are meaningless;
 	// print per-metric totals instead.
 	for i := range res.Metrics {
@@ -129,7 +130,7 @@ func run(cli *obs.CLIConfig, op, out string) error {
 		if total == 0 {
 			continue
 		}
-		fmt.Printf("  %-55s %+12.3f %s\n", res.Metrics[i].Key, total, res.Metrics[i].Unit)
+		fmt.Fprintf(w, "  %-55s %+12.3f %s\n", res.Metrics[i].Key, total, res.Metrics[i].Unit)
 	}
 	span.End()
 	if out != "" {
@@ -144,7 +145,7 @@ func run(cli *obs.CLIConfig, op, out string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("\nwritten to %s\n", out)
+		fmt.Fprintf(w, "\nwritten to %s\n", out)
 	}
 	return nil
 }
@@ -159,9 +160,9 @@ func main() {
 
 	var err error
 	if *prof {
-		err = runProfile(*out)
+		err = runProfile(*out, flag.Args(), os.Stdout)
 	} else {
-		err = run(cli, *op, *out)
+		err = run(cli.Recorder(), *op, *out, flag.Args(), os.Stdout)
 	}
 	if ferr := cli.Flush(); err == nil {
 		err = ferr

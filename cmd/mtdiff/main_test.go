@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metascope/internal/conformance"
+	"metascope/internal/pattern"
+	"metascope/internal/profile"
+	"metascope/internal/vclock"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// fixturePair produces two analysis reports of the same workload shape
+// with different planted imbalance, the natural input for the
+// cross-experiment algebra.
+func fixturePair(t *testing.T) (aCube, bCube, aProf, bProf string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(tag string, delays []float64, seed int64) (string, string) {
+		s := conformance.Scenario{
+			Name: "diff-" + tag, Base: pattern.WaitBarrier,
+			Delays: delays, Align: 1.0,
+		}
+		rr, err := conformance.RunScenario(s, seed, vclock.Hierarchical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rr.Results[vclock.Hierarchical]
+		cubePath := filepath.Join(dir, tag+".cube")
+		f, err := os.Create(cubePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Report.Write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		profPath := filepath.Join(dir, tag+"-profile.json")
+		if err := res.Profile.WriteFile(profPath); err != nil {
+			t.Fatal(err)
+		}
+		return cubePath, profPath
+	}
+	aCube, aProf = write("a", []float64{0.05, 0.17, 0.08, 0.26}, 1)
+	bCube, bProf = write("b", []float64{0.05, 0.08, 0.17, 0.11}, 1)
+	return aCube, bCube, aProf, bProf
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (rerun with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden file (rerun with -update after intentional changes)\ngot:\n%s", name, got)
+	}
+}
+
+func TestGoldenDiff(t *testing.T) {
+	a, b, _, _ := fixturePair(t)
+	var buf bytes.Buffer
+	if err := run(nil, "diff", "", []string{a, b}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diff.golden", buf.Bytes())
+}
+
+func TestGoldenMerge(t *testing.T) {
+	a, b, _, _ := fixturePair(t)
+	var buf bytes.Buffer
+	if err := run(nil, "merge", "", []string{a, b}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "merge.golden", buf.Bytes())
+}
+
+func TestGoldenMean(t *testing.T) {
+	a, b, _, _ := fixturePair(t)
+	var buf bytes.Buffer
+	if err := run(nil, "mean", "", []string{a, b}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "mean.golden", buf.Bytes())
+}
+
+func TestGoldenProfileDiff(t *testing.T) {
+	// Profile diffs require a shared interval axis, so the comparison
+	// partner is the same artifact with one series scaled — run b "got
+	// slower" in a known place.
+	_, _, ap, _ := fixturePair(t)
+	p, err := profile.ReadFile(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Series {
+		if p.Series[i].Rank == 0 && p.Series[i].Metric == pattern.KeyWaitBarrier {
+			for j := range p.Series[i].Values {
+				p.Series[i].Values[j] *= 1.5
+			}
+		}
+	}
+	bp := filepath.Join(t.TempDir(), "b-profile.json")
+	if err := p.WriteFile(bp); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runProfile("", []string{ap, bp}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "profile-diff.golden", buf.Bytes())
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	a, b, _, _ := fixturePair(t)
+	var buf bytes.Buffer
+	if err := run(nil, "diff", "", []string{a}, &buf); err == nil {
+		t.Error("diff with one report accepted")
+	}
+	if err := run(nil, "diff", "", []string{a, b, a}, &buf); err == nil {
+		t.Error("diff with three reports accepted")
+	}
+	if err := run(nil, "frobnicate", "", []string{a, b}, &buf); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := runProfile("", []string{a}, &buf); err == nil {
+		t.Error("profile diff with one artifact accepted")
+	}
+}

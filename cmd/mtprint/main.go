@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,11 +23,22 @@ import (
 	"metascope/internal/profile"
 )
 
-func run(cli *obs.CLIConfig, metric, call string, list bool, htmlOut, profileIn string) error {
-	if flag.NArg() != 1 {
+// options carries the parsed flags so run stays independent of the
+// global flag set (and therefore testable against golden files).
+type options struct {
+	metric    string
+	call      string
+	list      bool
+	htmlOut   string
+	profileIn string
+}
+
+func run(rec *obs.Recorder, o options, args []string, out io.Writer) error {
+	metric, call, list, htmlOut, profileIn := o.metric, o.call, o.list, o.htmlOut, o.profileIn
+	if len(args) != 1 {
 		return fmt.Errorf("usage: mtprint [-metric KEY] [-call PATH] report.cube")
 	}
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(args[0])
 	if err != nil {
 		return err
 	}
@@ -42,11 +54,11 @@ func run(cli *obs.CLIConfig, metric, call string, list bool, htmlOut, profileIn 
 	}
 	if list {
 		for _, m := range r.Metrics {
-			fmt.Printf("%-55s %s\n", m.Key, m.Name)
+			fmt.Fprintf(out, "%-55s %s\n", m.Key, m.Name)
 		}
 		return nil
 	}
-	span := cli.Recorder().Phases.Start("render")
+	span := obs.OrDefault(rec).Phases.Start("render")
 	defer span.End()
 	if htmlOut != "" {
 		f, err := os.Create(htmlOut)
@@ -60,25 +72,25 @@ func run(cli *obs.CLIConfig, metric, call string, list bool, htmlOut, profileIn 
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("HTML report written to %s\n", htmlOut)
+		fmt.Fprintf(out, "HTML report written to %s\n", htmlOut)
 		return nil
 	}
-	fmt.Printf("report: %s\n\n", r.Title)
+	fmt.Fprintf(out, "report: %s\n\n", r.Title)
 	if metric == "" {
-		fmt.Print(r.RenderMetricTree())
+		fmt.Fprint(out, r.RenderMetricTree())
 		return nil
 	}
 	if call == "" {
-		fmt.Print(r.RenderFigure(metric))
+		fmt.Fprint(out, r.RenderFigure(metric))
 		return nil
 	}
 	c := r.CallByPath(strings.Split(call, "/"))
 	if c < 0 {
 		return fmt.Errorf("call path %q not found", call)
 	}
-	fmt.Print(r.RenderCallTree(metric))
-	fmt.Println()
-	fmt.Print(r.RenderSystemTree(metric, c))
+	fmt.Fprint(out, r.RenderCallTree(metric))
+	fmt.Fprintln(out)
+	fmt.Fprint(out, r.RenderSystemTree(metric, c))
 	return nil
 }
 
@@ -92,7 +104,8 @@ func main() {
 	flag.Parse()
 	cli.Start()
 
-	err := run(cli, *metric, *call, *list, *htmlOut, *profileIn)
+	o := options{metric: *metric, call: *call, list: *list, htmlOut: *htmlOut, profileIn: *profileIn}
+	err := run(cli.Recorder(), o, flag.Args(), os.Stdout)
 	if ferr := cli.Flush(); err == nil {
 		err = ferr
 	}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metascope/internal/conformance"
+	"metascope/internal/pattern"
+	"metascope/internal/vclock"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// fixtureCube runs a deterministic conformance scenario and writes its
+// analysis report, giving the golden tests a real cube produced by the
+// full pipeline rather than a hand-built fake.
+func fixtureCube(t *testing.T) (cubePath, profilePath string) {
+	t.Helper()
+	s := conformance.Scenario{
+		Name: "golden", Base: pattern.WaitBarrier,
+		Delays: []float64{0.05, 0.17, 0.08, 0.26}, Align: 1.0,
+	}
+	rr, err := conformance.RunScenario(s, 1, vclock.Hierarchical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rr.Results[vclock.Hierarchical]
+	dir := t.TempDir()
+	cubePath = filepath.Join(dir, "report.cube")
+	f, err := os.Create(cubePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Report.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	profilePath = filepath.Join(dir, "profile.json")
+	if err := res.Profile.WriteFile(profilePath); err != nil {
+		t.Fatal(err)
+	}
+	return cubePath, profilePath
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (rerun with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden file (rerun with -update after intentional changes)\ngot:\n%s", name, got)
+	}
+}
+
+func TestGoldenMetricTree(t *testing.T) {
+	cube, _ := fixtureCube(t)
+	var buf bytes.Buffer
+	if err := run(nil, options{}, []string{cube}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metric-tree.golden", buf.Bytes())
+}
+
+func TestGoldenMetricList(t *testing.T) {
+	cube, _ := fixtureCube(t)
+	var buf bytes.Buffer
+	if err := run(nil, options{list: true}, []string{cube}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metric-list.golden", buf.Bytes())
+}
+
+func TestGoldenFigure(t *testing.T) {
+	cube, _ := fixtureCube(t)
+	var buf bytes.Buffer
+	if err := run(nil, options{metric: pattern.KeyWaitBarrier}, []string{cube}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure.golden", buf.Bytes())
+}
+
+func TestGoldenHTML(t *testing.T) {
+	cube, profile := fixtureCube(t)
+	htmlOut := filepath.Join(t.TempDir(), "report.html")
+	var buf bytes.Buffer
+	if err := run(nil, options{htmlOut: htmlOut, profileIn: profile}, []string{cube}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(htmlOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.html.golden", got)
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, options{}, nil, &buf); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run(nil, options{}, []string{"a", "b"}, &buf); err == nil {
+		t.Error("two arguments accepted")
+	}
+	if err := run(nil, options{}, []string{filepath.Join(t.TempDir(), "missing.cube")}, &buf); err == nil {
+		t.Error("missing cube file accepted")
+	}
+}

@@ -238,6 +238,20 @@ func (m *MemFS) List(dir string) ([]string, error) {
 	return names, nil
 }
 
+// Remove deletes a file. Directories cannot be removed. The
+// fault-injection corpus uses it to simulate lost trace files; the
+// measurement and analysis layers never delete anything.
+func (m *MemFS) Remove(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = clean(p)
+	if _, ok := m.files[p]; !ok {
+		return fmt.Errorf("remove %s on %s: %w", p, m.name, ErrNotExist)
+	}
+	delete(m.files, p)
+	return nil
+}
+
 // Size returns the stored size of a file in bytes, or -1 if absent.
 func (m *MemFS) Size(p string) int {
 	m.mu.Lock()

@@ -1,0 +1,146 @@
+package conformance
+
+// Fault-injection support: a Fixture runs one small grid scenario
+// through the normal trace path, then exposes its archive for
+// byte-level and event-level corruption. The corpus requirement is
+// that the full pipeline never panics on a damaged archive: every
+// fault must yield a structured error or an explicitly flagged
+// degraded result (clock-condition violations), never a silently
+// wrong cube.
+
+import (
+	"bytes"
+	"fmt"
+
+	"metascope"
+	"metascope/internal/archive"
+	"metascope/internal/pattern"
+	"metascope/internal/replay"
+	"metascope/internal/trace"
+)
+
+// FaultScenario is the scenario behind every fixture: a two-rank grid
+// Late Sender whose archive spans two metahost file systems.
+func FaultScenario() Scenario {
+	return Scenario{
+		Name:   "fault-ls",
+		Base:   pattern.LateSender,
+		Grid:   true,
+		Delays: []float64{0.1, 0},
+		Align:  1.0,
+		Bytes:  2048,
+	}
+}
+
+// Fixture is one measured archive open for mutation.
+type Fixture struct {
+	Exp *metascope.Experiment
+	Dir string
+}
+
+// NewFixture measures FaultScenario and returns its archive.
+func NewFixture(seed int64) (*Fixture, error) {
+	s := FaultScenario()
+	e, err := s.NewExperiment(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Run(s.Body); err != nil {
+		return nil, err
+	}
+	return &Fixture{Exp: e, Dir: e.ArchiveDir}, nil
+}
+
+// FSFor returns the (in-memory) file system holding a rank's trace.
+func (f *Fixture) FSFor(rank int) *archive.MemFS {
+	mh := f.Exp.Place.Loc(rank).Metahost
+	return f.Exp.Mounts().For(mh).(*archive.MemFS)
+}
+
+// TracePath returns the archive-relative path of a rank's trace file.
+func (f *Fixture) TracePath(rank int) string { return archive.TraceFile(f.Dir, rank) }
+
+// ReadRaw returns a rank's encoded trace bytes.
+func (f *Fixture) ReadRaw(rank int) ([]byte, error) {
+	return archive.ReadFile(f.FSFor(rank), f.TracePath(rank))
+}
+
+// WriteRaw overwrites a rank's trace file on its own file system.
+func (f *Fixture) WriteRaw(rank int, data []byte) error {
+	return writeFile(f.FSFor(rank), f.TracePath(rank), data)
+}
+
+// MutateRaw rewrites a rank's trace bytes through fn.
+func (f *Fixture) MutateRaw(rank int, fn func([]byte) []byte) error {
+	data, err := f.ReadRaw(rank)
+	if err != nil {
+		return err
+	}
+	return f.WriteRaw(rank, fn(data))
+}
+
+// MutateTrace decodes a rank's trace, applies fn, and re-encodes it in
+// place — the hook for event-level faults (non-monotonic timestamps,
+// unbalanced regions, nonlinear clock behavior).
+func (f *Fixture) MutateTrace(rank int, fn func(*trace.Trace)) error {
+	data, err := f.ReadRaw(rank)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.DecodeBytes(data)
+	if err != nil {
+		return fmt.Errorf("conformance: decoding pristine trace %d: %w", rank, err)
+	}
+	fn(tr)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		return fmt.Errorf("conformance: re-encoding mutated trace %d: %w", rank, err)
+	}
+	return f.WriteRaw(rank, buf.Bytes())
+}
+
+// RemoveTrace deletes a rank's trace file (the lost-rank fault).
+func (f *Fixture) RemoveTrace(rank int) error {
+	return f.FSFor(rank).Remove(f.TracePath(rank))
+}
+
+// Load runs the archive loader over the (possibly mutated) archive.
+func (f *Fixture) Load() ([]*trace.Trace, error) {
+	return replay.LoadArchive(f.Exp.Mounts(), f.Exp.Place.MetahostsUsed(), f.Dir)
+}
+
+// Analyze runs the full analysis over the (possibly mutated) archive
+// under the hierarchical scheme.
+func (f *Fixture) Analyze() (*replay.Result, error) {
+	return f.Exp.Analyze(metascope.Hierarchical)
+}
+
+// WarpEvents applies the nonlinear clock model violation: event
+// timestamps (but not the start/end offset measurements, which remain
+// linearly consistent) are bent by t ↦ t − a·(t−t₀)² with t₀ the first
+// event's time. The map is monotone for a·span < ½, so the trace still
+// validates — the damage is only detectable as clock-condition
+// violations against other ranks, which is exactly the degradation
+// flag the analyzer must raise.
+func WarpEvents(tr *trace.Trace, a float64) {
+	if len(tr.Events) == 0 {
+		return
+	}
+	t0 := tr.Events[0].Time
+	for i := range tr.Events {
+		dt := tr.Events[i].Time - t0
+		tr.Events[i].Time -= a * dt * dt
+	}
+}
+
+func writeFile(fs archive.FS, path string, data []byte) error {
+	w, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

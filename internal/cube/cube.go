@@ -292,6 +292,27 @@ func (r *Report) MetricLocValue(m, call, loc int) float64 {
 	return total
 }
 
+// RankMetricTotal sums the subtree of the metric with the given key
+// over every call node at the location of the given rank — the
+// per-process severity of a whole pattern family, dynamically created
+// per-pair grid children included. Absent metrics or ranks yield 0.
+// The conformance oracle (internal/conformance) compares this against
+// closed-form expectations.
+func (r *Report) RankMetricTotal(key string, rank int) float64 {
+	m := r.MetricIndex(key)
+	l := r.LocIndex(rank)
+	if m < 0 || l < 0 {
+		return 0
+	}
+	total := 0.0
+	for _, mm := range r.metricSubtree(m) {
+		for c := range r.Calls {
+			total += r.Value(mm, c, l)
+		}
+	}
+	return total
+}
+
 // MetricTotal sums metric m's subtree over everything.
 func (r *Report) MetricTotal(m int) float64 {
 	total := 0.0

@@ -1,0 +1,49 @@
+package cube
+
+import (
+	"math"
+	"testing"
+
+	"metascope/internal/pattern"
+)
+
+// TestRankMetricTotal pins the per-rank subtree sum the conformance
+// oracle reads severities through: inclusive of child metrics (grid
+// specializations and their per-pair children), restricted to one
+// rank's location, summed over all calls.
+func TestRankMetricTotal(t *testing.T) {
+	r := tinyReport()
+	// Rank 0 holds 1.0 plain Late Sender; rank 1 holds 2.0 Grid Late
+	// Sender. The Late Sender subtree includes the grid child.
+	if got := r.RankMetricTotal(pattern.KeyLateSender, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("LS subtree at rank 0 = %g, want 1", got)
+	}
+	if got := r.RankMetricTotal(pattern.KeyLateSender, 1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("LS subtree at rank 1 = %g, want 2", got)
+	}
+	// The grid child alone excludes the parent's plain value.
+	if got := r.RankMetricTotal(pattern.KeyGridLS, 0); got != 0 {
+		t.Errorf("grid LS at rank 0 = %g, want 0", got)
+	}
+	if got := r.RankMetricTotal(pattern.KeyGridLS, 1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("grid LS at rank 1 = %g, want 2", got)
+	}
+	// Execution is inclusive of the whole MPI subtree: its own exclusive
+	// values (1+5) plus p2p transfer (0.5) plus Late Sender (1).
+	if got := r.RankMetricTotal(pattern.KeyExecution, 0); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("execution subtree at rank 0 = %g, want 7.5", got)
+	}
+	// Unknown metric or rank: zero, not a panic.
+	if got := r.RankMetricTotal("no.such.metric", 0); got != 0 {
+		t.Errorf("unknown metric = %g, want 0", got)
+	}
+	if got := r.RankMetricTotal(pattern.KeyLateSender, 99); got != 0 {
+		t.Errorf("unknown rank = %g, want 0", got)
+	}
+	// Consistency with the location-summed subtree total.
+	ls := r.MetricIndex(pattern.KeyLateSender)
+	if perRank, total := r.RankMetricTotal(pattern.KeyLateSender, 0)+r.RankMetricTotal(pattern.KeyLateSender, 1),
+		r.MetricTotal(ls); math.Abs(perRank-total) > 1e-12 {
+		t.Errorf("per-rank sums %g != subtree total %g", perRank, total)
+	}
+}

@@ -81,6 +81,18 @@ func (id ID) MetricKey() string {
 	}
 }
 
+// WaitStateKeys returns the metric key of every wait-state pattern the
+// analyzer can detect, in ID order. The conformance suite sweeps the
+// list to assert that a planted scenario moves exactly one pattern
+// family and leaves every other severity at zero.
+func WaitStateKeys() []string {
+	out := make([]string, 0, int(NumPatterns))
+	for id := ID(0); id < NumPatterns; id++ {
+		out = append(out, id.MetricKey())
+	}
+	return out
+}
+
 // MetricTree returns the full metric hierarchy: the KOJAK time
 // hierarchy with the paper's grid specializations attached beneath
 // their base patterns, plus the Visits counter.

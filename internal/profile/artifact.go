@@ -54,6 +54,24 @@ func (p *Profile) Metrics() []string {
 	return out
 }
 
+// SeriesTotal sums the bucket values of every series carrying the
+// given metric at the given rank (rank < 0 matches every rank). The
+// interval accumulator only ever folds buckets together, so this total
+// equals the sum of the severities fed into the profile — the property
+// the conformance oracle cross-checks against the cube.
+func (p *Profile) SeriesTotal(metric string, rank int) float64 {
+	total := 0.0
+	for _, s := range p.Series {
+		if s.Metric != metric || (rank >= 0 && s.Rank != rank) {
+			continue
+		}
+		for _, v := range s.Values {
+			total += v
+		}
+	}
+	return total
+}
+
 // MetahostRows aggregates one metric's series by metahost (summing
 // ranks), returning rows ordered by metahost id. Used by the HTML
 // heatmap and the timeline counter tracks.

@@ -360,6 +360,29 @@ func mergeComms(traces []*trace.Trace) (map[int32][]int32, error) {
 	return out, nil
 }
 
+// checkCommCoverage verifies that every communicator member has a
+// trace. The dense-range check of the archive loader cannot notice a
+// missing tail rank (the job simply looks smaller), but the world
+// communicator recorded in every surviving trace still names the lost
+// ranks — replaying without them would silently drop their side of
+// every message and produce a wrong cube rather than an error.
+func checkCommCoverage(comms map[int32][]int32, n int) error {
+	ids := make([]int32, 0, len(comms))
+	for id := range comms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for _, r := range comms[id] {
+			if int(r) < 0 || int(r) >= n {
+				return fmt.Errorf("replay: communicator %d references rank %d but the archive holds traces for ranks 0..%d (incomplete archive)",
+					id, r, n-1)
+			}
+		}
+	}
+	return nil
+}
+
 // Analyze runs the parallel replay over a complete set of local traces
 // and produces the analysis report. Its own runtime behavior — the
 // sync, replay, and pattern-search phase durations, replayed events
@@ -394,6 +417,9 @@ func Analyze(traces []*trace.Trace, cfg Config) (*Result, error) {
 
 	comms, err := mergeComms(traces)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkCommCoverage(comms, len(traces)); err != nil {
 		return nil, err
 	}
 	a := newAnalyzer(traces, corr, comms, cfg)

@@ -1,5 +1,7 @@
 package topology
 
+import "fmt"
+
 // Preset topologies for the experiments in the paper (§5). Latency
 // means and standard deviations for the VIOLA testbed are calibrated to
 // Table 1; bandwidths follow the hardware named in the text (Gigabit
@@ -167,6 +169,58 @@ func IBMPower() *Metacomputer {
 			// Late Sender grows in the one-metahost case).
 		},
 	})
+	return mc
+}
+
+// ConformanceTestbed builds a fully deterministic metacomputer for the
+// analytic-oracle conformance suite (internal/conformance). Every link
+// has zero latency jitter, no cross-traffic spikes, and is dedicated,
+// so — with route asymmetry disabled in the message-passing layer —
+// one-way latencies equal the link means exactly and Cristian's offset
+// measurements are error-free. Node clocks keep nonzero offsets and
+// drifts but read with zero granularity; the synchronization schemes
+// that interpolate two measurements (FlatInterp, Hierarchical) then
+// recover the master time base exactly, which is what makes planted
+// wait-state severities computable in closed form. The suite must
+// still recover them *through* the whole measurement/sync/replay
+// pipeline — the clocks are deliberately not trivially perfect.
+//
+// metahosts selects the federation size (1 for intra-metahost
+// scenarios, 2+ for grid scenarios); every metahost has nodes
+// single-CPU SMP nodes so each rank gets its own clock.
+func ConformanceTestbed(metahosts, nodes int) *Metacomputer {
+	mc := New("conformance")
+	internal := Link{
+		LatencyMean: 20e-6,
+		LatencySD:   0,
+		Bandwidth:   1e9,
+		Dedicated:   true,
+	}
+	shm := Link{
+		LatencyMean: 2e-6,
+		LatencySD:   0,
+		Bandwidth:   2e9,
+		Dedicated:   true,
+	}
+	clock := ClockSpec{
+		MaxOffset:   5e-3, // nonzero: corrections must actually correct
+		MaxDrift:    2e-6, // nonzero: interpolation must actually interpolate
+		Granularity: 0,    // exact reads keep the closed forms exact
+	}
+	for i := 0; i < metahosts; i++ {
+		mc.AddMetahost(&Metahost{
+			Name: fmt.Sprintf("MH%c", 'A'+i), Site: "conformance testbed",
+			Arch: "deterministic model", Nodes: nodes, CPUs: 1,
+			Interconnect: "det-internal", Internal: internal, NodeLocal: shm,
+			Clock: clock,
+		})
+	}
+	mc.DefaultExternal = Link{
+		LatencyMean: 500e-6,
+		LatencySD:   0,
+		Bandwidth:   1.25e9,
+		Dedicated:   true,
+	}
 	return mc
 }
 

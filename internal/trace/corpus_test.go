@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update", false, "regenerate the checked-in fuzz seed corpus")
+
+const corpusDir = "testdata/fuzz/FuzzDecode"
+
+// corpusEntries is the checked-in seed corpus: every encoder path plus
+// the malformed shapes the decoder must reject cleanly. The entries are
+// deterministic, so the corpus regenerates byte-identically.
+func corpusEntries(t testing.TB) map[string][]byte {
+	t.Helper()
+	enc := encodedSeeds(t)
+	return map[string][]byte{
+		"valid-sample":     enc[0],
+		"valid-minimal":    enc[1],
+		"valid-p2p":        enc[2],
+		"empty":            {},
+		"magic-only":       []byte("MSCP"),
+		"bad-version":      append([]byte("MSCP"), 0xFF),
+		"not-a-trace":      []byte("not a trace"),
+		"truncated-header": enc[0][:8],
+		"truncated-mid":    enc[2][: len(enc[2])/2 : len(enc[2])/2],
+	}
+}
+
+// marshalCorpus renders data in the Go fuzzing corpus file format, the
+// same encoding `go test -fuzz` writes for discovered inputs.
+func marshalCorpus(data []byte) []byte {
+	return []byte(fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data))))
+}
+
+// unmarshalCorpus parses a corpus file back into its input bytes.
+func unmarshalCorpus(raw []byte) ([]byte, error) {
+	lines := strings.SplitN(strings.TrimRight(string(raw), "\n"), "\n", 2)
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		return nil, fmt.Errorf("missing corpus header")
+	}
+	body := strings.TrimSpace(lines[1])
+	if !strings.HasPrefix(body, "[]byte(") || !strings.HasSuffix(body, ")") {
+		return nil, fmt.Errorf("corpus body %q is not a []byte literal", body)
+	}
+	s, err := strconv.Unquote(body[len("[]byte(") : len(body)-1])
+	if err != nil {
+		return nil, fmt.Errorf("unquoting corpus body: %w", err)
+	}
+	return []byte(s), nil
+}
+
+// TestFuzzSeedCorpus keeps the checked-in corpus honest: with -update
+// it regenerates the files; without, it verifies every file parses,
+// matches the expected set, and satisfies the fuzz invariant (anything
+// the decoder accepts survives a re-encode round trip). The Go tool
+// additionally feeds these files to FuzzDecode during plain `go test`,
+// so the corpus doubles as the CI fuzz smoke.
+func TestFuzzSeedCorpus(t *testing.T) {
+	want := corpusEntries(t)
+	if *updateCorpus {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range want {
+			if err := os.WriteFile(filepath.Join(corpusDir, name), marshalCorpus(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	files, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("reading seed corpus (run `go test ./internal/trace -run TestFuzzSeedCorpus -update` to create it): %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, f := range files {
+		raw, err := os.ReadFile(filepath.Join(corpusDir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := unmarshalCorpus(raw)
+		if err != nil {
+			t.Errorf("%s: %v", f.Name(), err)
+			continue
+		}
+		if wantData, ok := want[f.Name()]; ok {
+			seen[f.Name()] = true
+			if !bytes.Equal(data, wantData) {
+				t.Errorf("%s: corpus drifted from its generator; rerun with -update", f.Name())
+			}
+		}
+		// The fuzz invariant, inline: accepted inputs must round-trip.
+		tr, err := DecodeBytes(data)
+		if err != nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Errorf("%s: decoded trace failed to re-encode: %v", f.Name(), err)
+			continue
+		}
+		if _, err := DecodeBytes(buf.Bytes()); err != nil {
+			t.Errorf("%s: re-encoded trace failed to decode: %v", f.Name(), err)
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("seed %s missing from %s; rerun with -update", name, corpusDir)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkParallelReplay-8":   "BenchmarkParallelReplay",
+		"BenchmarkParallelReplay-16":  "BenchmarkParallelReplay",
+		"BenchmarkParallelReplay":     "BenchmarkParallelReplay",
+		"BenchmarkDecode/size=1024-4": "BenchmarkDecode/size=1024",
+		"BenchmarkOddly-Named":        "BenchmarkOddly-Named",
+		"-4":                          "-4", // leading dash: not a suffix
+		"BenchmarkTrailingDash-":      "BenchmarkTrailingDash-",
+	}
+	for in, want := range cases {
+		if got := benchName(in); got != want {
+			t.Errorf("benchName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseMeasurements(t *testing.T) {
+	r := parseMeasurements("BenchmarkX", []string{"60", "21032146", "ns/op", "4156430", "B/op", "6106", "allocs/op"})
+	if r == nil {
+		t.Fatal("valid measurement line rejected")
+	}
+	want := map[string]float64{"ns/op": 21032146, "B/op": 4156430, "allocs/op": 6106}
+	for unit, v := range want {
+		if r.units[unit] != v {
+			t.Errorf("%s = %g, want %g", unit, r.units[unit], v)
+		}
+	}
+	for _, fields := range [][]string{
+		nil,
+		{"60"},
+		{"60", "123"},
+		{"notanint", "123", "ns/op"},
+		{"60", "notafloat", "ns/op"},
+	} {
+		if parseMeasurements("BenchmarkX", fields) != nil {
+			t.Errorf("fields %q accepted as a measurement line", fields)
+		}
+	}
+	// Custom ReportMetric units ride along.
+	r = parseMeasurements("BenchmarkX", []string{"10", "5", "ns/op", "3.5", "traces/s"})
+	if r == nil || r.units["traces/s"] != 3.5 {
+		t.Errorf("custom unit lost: %+v", r)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if got := delta(110, 100); got != "+10.0%" {
+		t.Errorf("delta(110,100) = %q", got)
+	}
+	if got := delta(90, 100); got != "-10.0%" {
+		t.Errorf("delta(90,100) = %q", got)
+	}
+	if got := delta(5, 0); got != "" {
+		t.Errorf("delta against zero baseline = %q, want empty", got)
+	}
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseFileSplitEvents(t *testing.T) {
+	// The runner splits name and measurements across two output events.
+	p := writeTemp(t, `{"Action":"output","Output":"BenchmarkParallelReplay-8 \t"}
+{"Action":"output","Output":"  60\t 21032146 ns/op\t 4156430 B/op\t 6106 allocs/op\n"}
+`)
+	res, err := parseFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := res["BenchmarkParallelReplay"]
+	if !ok {
+		t.Fatalf("benchmark missing from %v", res)
+	}
+	if r.units["ns/op"] != 21032146 {
+		t.Errorf("ns/op = %g", r.units["ns/op"])
+	}
+}
+
+func TestParseFileOneLineResult(t *testing.T) {
+	p := writeTemp(t, `{"Action":"output","Output":"BenchmarkDecode-4 100 5000 ns/op\n"}
+`)
+	res, err := parseFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res["BenchmarkDecode"]; r.units["ns/op"] != 5000 {
+		t.Errorf("one-line result parsed as %+v", res)
+	}
+}
+
+func TestParseFileToleratesGarbage(t *testing.T) {
+	// Malformed JSON lines, non-output events, and unrelated output must
+	// be skipped, not fatal: `go test -json` streams often carry build
+	// noise and plain-text lines.
+	p := writeTemp(t, `this is not json at all
+{"Action":"run","Test":"TestX"}
+{"Action":"output","Output":"ok  \tmetascope/internal/replay\t1.2s\n"}
+{"Action":"output","Output":"BenchmarkX-2 \t"}
+{"Action":"output","Output":"not a measurement\n"}
+{"Action":"output","Output":"BenchmarkY-2 10 42 ns/op\n"}
+{truncated`)
+	res, err := parseFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res["BenchmarkX"]; ok {
+		t.Error("name event with no measurement produced a result")
+	}
+	if r := res["BenchmarkY"]; r.units["ns/op"] != 42 {
+		t.Errorf("valid benchmark lost among garbage: %+v", res)
+	}
+}
+
+func TestParseFileMissingBaseline(t *testing.T) {
+	_, err := parseFile(filepath.Join(t.TempDir(), "does-not-exist.json"))
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// main treats this error as "no baseline" and keeps going; here we
+	// only pin that the error is surfaced for main to make that call.
+	if !os.IsNotExist(err) {
+		t.Errorf("want a not-exist error, got %v", err)
+	}
+}
+
+func TestParseFileEmpty(t *testing.T) {
+	res, err := parseFile(writeTemp(t, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("empty capture produced results: %v", res)
+	}
+}

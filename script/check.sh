@@ -23,8 +23,21 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+# Every internal package must carry tests: the conformance harness can
+# only vouch for code the suite actually reaches.
+echo "== test coverage presence (internal/...)"
+untested=$(go list -f '{{if and (not .TestGoFiles) (not .XTestGoFiles)}}{{.ImportPath}}{{end}}' ./internal/...)
+if [ -n "$untested" ]; then
+	echo "check: internal packages without any test files:" >&2
+	echo "$untested" >&2
+	exit 1
+fi
+
+# -shuffle=on randomizes test (and subtest-sibling) execution order so
+# accidental inter-test dependencies surface in CI instead of in the
+# field; failures print the seed for reproduction.
+echo "== go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 # One iteration of every benchmark: catches benchmarks that rot (fail
 # to compile or crash) without paying for a real measurement run.
