@@ -1,6 +1,6 @@
 # Convenience entry points; see script/check.sh for the tier-1 gate.
 
-.PHONY: check build test race vet bench conformance fuzz
+.PHONY: check build test race vet bench conformance fuzz soak
 
 check: ## gofmt + vet + build + race-enabled tests (tier-1 gate)
 	./script/check.sh
@@ -8,6 +8,9 @@ check: ## gofmt + vet + build + race-enabled tests (tier-1 gate)
 conformance: ## analytic-oracle suite over a wider seed sweep (the short tier runs inside `make check`)
 	METASCOPE_CONFORMANCE_SEEDS=$(or $(SEEDS),8) go test ./internal/conformance -count=1 -v -run 'TestOracle|TestMutationSensitivity'
 	go test ./internal/conformance -count=1 -run 'TestMetamorphic|TestFault'
+
+soak: ## minutes-long analysis-service soak under -race (the seconds-long tier runs inside `make check`); SOAK_SECONDS=300 for longer
+	METASCOPE_SOAK_SECONDS=$(or $(SOAK_SECONDS),60) go test -race -count=1 -v -run 'TestServeSoak' ./internal/serve
 
 FUZZTIME ?= 10s
 fuzz: ## coverage-guided fuzzing of the trace decoder (seed corpus alone runs in plain `go test`); FUZZTIME=5m for a long local run
@@ -27,7 +30,7 @@ vet:
 
 bench: ## replay + ingestion benchmarks; BENCH_replay.json plus delta vs the committed baseline
 	@if [ -f BENCH_replay.json ]; then cp BENCH_replay.json BENCH_replay.prev.json; fi
-	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkArchiveLoad|BenchmarkScalabilityAnalysis' \
+	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkArchiveLoad|BenchmarkScalabilityAnalysis|BenchmarkServeThroughput' \
 		-benchmem -json . > BENCH_replay.json
 	@if [ -f BENCH_replay.prev.json ]; then \
 		go run ./script/benchdelta -base BENCH_replay.prev.json BENCH_replay.json; \

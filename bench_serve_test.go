@@ -1,0 +1,126 @@
+package metascope_test
+
+// Throughput of the analysis service end to end: jobs submitted over
+// HTTP, analyzed by the real sync → replay → cube → profile pipeline
+// through the bounded worker pool, results fetched back. The pool
+// sweep (1, 4, GOMAXPROCS workers) shows how far concurrent replay
+// analyses scale on one machine; the cache is disabled so every job
+// pays the full pipeline.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"metascope/internal/conformance"
+	"metascope/internal/obs"
+	"metascope/internal/pattern"
+	"metascope/internal/serve"
+)
+
+// serveBenchBundle builds the benchmark workload once: a four-rank
+// grid barrier scenario measured through the normal trace path and
+// packed as an upload bundle.
+var serveBenchBundle = sync.OnceValues(func() ([]byte, error) {
+	s := conformance.Scenario{
+		Name: "bench-serve", Base: pattern.WaitBarrier, Grid: true,
+		Delays: []float64{0.05, 0.17, 0.08, 0.26}, Align: 1.0,
+	}
+	e, err := s.NewExperiment(1)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Run(s.Body); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := serve.EncodeZip(&buf, e.Mounts(), e.Place.MetahostsUsed(), e.ArchiveDir); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+})
+
+func BenchmarkServeThroughput(b *testing.B) {
+	zipBody, err := serveBenchBundle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pools := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		pools = append(pools, n)
+	}
+	for _, workers := range pools {
+		b.Run(fmt.Sprintf("pool=%d", workers), func(b *testing.B) {
+			srv := serve.New(serve.Options{
+				Workers:      workers,
+				QueueDepth:   4 * workers,
+				CacheEntries: -1, // every job pays the full pipeline
+				Obs:          obs.NewRecorder(),
+			})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			// 2 clients per worker keep the queue fed without tripping
+			// the 429 backpressure.
+			clients := 2 * workers
+			jobs := make(chan struct{})
+			var wg sync.WaitGroup
+			var failed sync.Once
+			b.ReportAllocs()
+			b.ResetTimer()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range jobs {
+						resp, err := http.Post(ts.URL+"/v1/jobs", "application/zip", bytes.NewReader(zipBody))
+						if err != nil {
+							failed.Do(func() { b.Error(err) })
+							return
+						}
+						var st serve.JobStatus
+						err = json.NewDecoder(resp.Body).Decode(&st)
+						resp.Body.Close()
+						if err == nil && resp.StatusCode != http.StatusAccepted {
+							err = fmt.Errorf("submit: status %d", resp.StatusCode)
+						}
+						if err != nil {
+							failed.Do(func() { b.Error(err) })
+							return
+						}
+						wr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "?wait=60s")
+						if err != nil {
+							failed.Do(func() { b.Error(err) })
+							return
+						}
+						err = json.NewDecoder(wr.Body).Decode(&st)
+						wr.Body.Close()
+						if err != nil || st.State != serve.StateDone {
+							failed.Do(func() { b.Errorf("job ended %s (%s, err %v)", st.State, st.Error, err) })
+							return
+						}
+					}
+				}()
+			}
+			for i := 0; i < b.N; i++ {
+				jobs <- struct{}{}
+			}
+			close(jobs)
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := srv.Drain(ctx); err != nil {
+				b.Errorf("drain: %v", err)
+			}
+			cancel()
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// mtserved is the analysis service: it accepts experiment archives
+// over HTTP — uploaded as zip bundles or named by a path under -root —
+// runs the full sync → replay → cube → profile pipeline through a
+// bounded worker pool, and serves the resulting cube reports, profile
+// series, and mtdiff-style comparisons from a content-addressed result
+// cache:
+//
+//	mtserved -addr :8921 -root ./experiments -workers 4
+//
+//	curl -s --data-binary @run1.zip 'localhost:8921/v1/jobs?scheme=hier'
+//	curl -s 'localhost:8921/v1/jobs/job-1?wait=30s'
+//	curl -s 'localhost:8921/v1/jobs/job-1/result' > run1.cube
+//
+// The service sheds load instead of buffering it: a full queue answers
+// 429 with a Retry-After estimate. SIGINT/SIGTERM starts a graceful
+// drain — intake closes (503), accepted jobs get -drain-timeout to
+// finish, then are cancelled. GET /metrics serves the self-telemetry
+// (queue depth, busy workers, cache hit ratio, latency histograms) in
+// Prometheus text format; the usual -metrics-out flag snapshots the
+// same registry at exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"metascope/internal/obs"
+	"metascope/internal/serve"
+	"metascope/internal/vclock"
+)
+
+func run(cli *obs.CLIConfig, opts serve.Options, addr string, drainTimeout time.Duration) error {
+	rec := cli.Recorder()
+	opts.Obs = rec
+	srv := serve.New(opts)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	rec.Log.Info("mtserved listening", "addr", ln.Addr().String())
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	rec.Log.Info("signal received, draining", "timeout", drainTimeout.String())
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if errors.Is(drainErr, context.DeadlineExceeded) {
+		rec.Log.Info("drain deadline expired; remaining jobs cancelled")
+		drainErr = nil
+	}
+	return drainErr
+}
+
+func main() {
+	cli := obs.RegisterCLIFlags("mtserved", flag.CommandLine, nil)
+	addr := flag.String("addr", ":8921", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker pool width")
+	queue := flag.Int("queue", 64, "FIFO queue depth before submissions get 429")
+	cacheN := flag.Int("cache", 128, "result cache capacity in entries (negative disables)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job analysis time budget (negative disables)")
+	root := flag.String("root", "", "directory for ?path= submissions (empty: upload only)")
+	maxUpload := flag.Int64("max-upload", serve.DefaultMaxUploadBytes, "decompressed byte budget of one uploaded bundle")
+	schemeFlag := flag.String("scheme", "hier", "default time-stamp synchronization: flat1 | flat2 | hier")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM")
+	flag.Parse()
+	cli.Start()
+
+	scheme, err := vclock.ParseScheme(*schemeFlag)
+	if err == nil {
+		err = run(cli, serve.Options{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			CacheEntries:   *cacheN,
+			JobTimeout:     *jobTimeout,
+			Root:           *root,
+			MaxUploadBytes: *maxUpload,
+			Scheme:         scheme,
+		}, *addr, *drainTimeout)
+	}
+	if ferr := cli.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		obs.Fatal("mtserved failed", "err", err)
+	}
+}

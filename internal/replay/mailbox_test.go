@@ -9,13 +9,23 @@ func rec(comm, src, tag int32, bytes int64) sendRecord {
 	return sendRecord{comm: comm, srcWorld: src, tag: tag, bytes: bytes}
 }
 
+// takeOK is take asserting the mailbox was not aborted — the only mode
+// these matching tests exercise.
+func (mb *mailbox) takeOK(comm, src, tag int32) sendRecord {
+	r, ok := mb.take(comm, src, tag)
+	if !ok {
+		panic("mailbox: take aborted unexpectedly")
+	}
+	return r
+}
+
 func TestMailboxFIFOPerSignature(t *testing.T) {
 	mb := newMailbox()
 	mb.put(rec(0, 1, 7, 100))
 	mb.put(rec(0, 1, 7, 200))
 	mb.put(rec(0, 1, 7, 300))
 	for i, want := range []int64{100, 200, 300} {
-		if got := mb.take(0, 1, 7); got.bytes != want {
+		if got := mb.takeOK(0, 1, 7); got.bytes != want {
 			t.Fatalf("take %d: bytes = %d, want %d", i, got.bytes, want)
 		}
 	}
@@ -28,16 +38,16 @@ func TestMailboxSignaturesAreIndependent(t *testing.T) {
 	mb.put(rec(0, 2, 1, 21)) // different source
 	mb.put(rec(0, 1, 2, 12)) // different tag
 	mb.put(rec(1, 1, 1, 31)) // different communicator
-	if got := mb.take(1, 1, 1); got.bytes != 31 {
+	if got := mb.takeOK(1, 1, 1); got.bytes != 31 {
 		t.Errorf("comm 1 take = %d, want 31", got.bytes)
 	}
-	if got := mb.take(0, 1, 2); got.bytes != 12 {
+	if got := mb.takeOK(0, 1, 2); got.bytes != 12 {
 		t.Errorf("tag 2 take = %d, want 12", got.bytes)
 	}
-	if got := mb.take(0, 2, 1); got.bytes != 21 {
+	if got := mb.takeOK(0, 2, 1); got.bytes != 21 {
 		t.Errorf("src 2 take = %d, want 21", got.bytes)
 	}
-	if got := mb.take(0, 1, 1); got.bytes != 11 {
+	if got := mb.takeOK(0, 1, 1); got.bytes != 11 {
 		t.Errorf("src 1 take = %d, want 11", got.bytes)
 	}
 }
@@ -53,7 +63,7 @@ func TestMailboxTakeReleasesMatchedRecords(t *testing.T) {
 	mb.put(rec(0, 1, 7, 42))
 	mb.put(rec(0, 1, 7, 43))
 	mb.put(rec(0, 1, 7, 44))
-	if got := mb.take(0, 1, 7); got.bytes != 42 {
+	if got := mb.takeOK(0, 1, 7); got.bytes != 42 {
 		t.Fatalf("take = %d, want 42", got.bytes)
 	}
 
@@ -82,8 +92,8 @@ func TestMailboxTakeReleasesMatchedRecords(t *testing.T) {
 
 	// Draining the signature deletes its cell outright — no cached
 	// state (and no reference to any record) survives.
-	mb.take(0, 1, 7)
-	mb.take(0, 1, 7)
+	mb.takeOK(0, 1, 7)
+	mb.takeOK(0, 1, 7)
 	mb.mu.Lock()
 	if _, ok := mb.q[s]; ok {
 		t.Error("drained signature still has a cell in the mailbox")
@@ -100,7 +110,7 @@ func TestMailboxTakeReleasesMatchedRecords(t *testing.T) {
 func TestMailboxBlockingTake(t *testing.T) {
 	mb := newMailbox()
 	got := make(chan sendRecord, 1)
-	go func() { got <- mb.take(0, 1, 9) }()
+	go func() { got <- mb.takeOK(0, 1, 9) }()
 	mb.put(rec(0, 1, 9, 77))
 	if r := <-got; r.bytes != 77 {
 		t.Fatalf("blocked take = %d, want 77", r.bytes)
@@ -129,7 +139,7 @@ func TestMailboxConcurrentPairs(t *testing.T) {
 		go func(s int32) {
 			defer wg.Done()
 			for i := 0; i < msgs; i++ {
-				if got := mb.take(0, s, s%3); got.bytes != int64(i) {
+				if got := mb.takeOK(0, s, s%3); got.bytes != int64(i) {
 					t.Errorf("src %d take %d: bytes = %d, want %d", s, i, got.bytes, i)
 					return
 				}
@@ -137,6 +147,32 @@ func TestMailboxConcurrentPairs(t *testing.T) {
 		}(int32(s))
 	}
 	wg.Wait()
+}
+
+// TestMailboxAbortWakesBlockedTake checks the cancellation path: a
+// receiver blocked on a message that will never arrive must be woken
+// by setAbort and told the analysis ended, and any take after the
+// abort must fail immediately instead of blocking.
+func TestMailboxAbortWakesBlockedTake(t *testing.T) {
+	mb := newMailbox()
+	woken := make(chan bool, 1)
+	go func() {
+		_, ok := mb.take(0, 1, 9)
+		woken <- ok
+	}()
+	mb.setAbort()
+	if ok := <-woken; ok {
+		t.Fatal("aborted take reported ok=true")
+	}
+	if _, ok := mb.take(0, 2, 3); ok {
+		t.Fatal("take after abort reported ok=true")
+	}
+	// Records already delivered are still matchable after an abort — the
+	// receiver decides between draining and unwinding.
+	mb.put(rec(0, 1, 7, 5))
+	if r, ok := mb.take(0, 1, 7); !ok || r.bytes != 5 {
+		t.Fatalf("pending record after abort: ok=%v bytes=%d", ok, r.bytes)
+	}
 }
 
 // TestMailboxVaryingPairsStaysCompact replays the clockbench
@@ -148,7 +184,7 @@ func TestMailboxVaryingPairsStaysCompact(t *testing.T) {
 	mb := newMailbox()
 	for src := int32(0); src < 1000; src++ {
 		mb.put(rec(0, src, 4100, int64(src)))
-		if got := mb.take(0, src, 4100); got.bytes != int64(src) {
+		if got := mb.takeOK(0, src, 4100); got.bytes != int64(src) {
 			t.Fatalf("src %d: bytes = %d", src, got.bytes)
 		}
 	}

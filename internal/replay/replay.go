@@ -22,6 +22,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -123,7 +124,7 @@ type Result struct {
 // complete: a missing or duplicate rank is an error. Ingestion metrics
 // go to obs.Default; use LoadArchiveObs to direct them elsewhere.
 func LoadArchive(mounts *archive.Mounts, metahosts []int, dir string) ([]*trace.Trace, error) {
-	return LoadArchiveObs(mounts, metahosts, dir, nil)
+	return LoadArchiveCtx(context.Background(), mounts, metahosts, dir, nil)
 }
 
 // loadItem is one trace file scheduled for decoding.
@@ -150,6 +151,15 @@ type loadItem struct {
 // reported error is the lexically-first failure regardless of worker
 // scheduling. Assembly is rank-ordered and deterministic.
 func LoadArchiveObs(mounts *archive.Mounts, metahosts []int, dir string, rec *obs.Recorder) ([]*trace.Trace, error) {
+	return LoadArchiveCtx(context.Background(), mounts, metahosts, dir, rec)
+}
+
+// LoadArchiveCtx is LoadArchiveObs honoring ctx: the decode pool stops
+// picking up new trace files once the context is cancelled and the
+// load returns the context's error (a decode failure that already won
+// the first-error race still takes precedence, keeping the reported
+// error deterministic).
+func LoadArchiveCtx(ctx context.Context, mounts *archive.Mounts, metahosts []int, dir string, rec *obs.Recorder) ([]*trace.Trace, error) {
 	rec = obs.OrDefault(rec)
 	m := newIngestMetrics(rec)
 	span := rec.Phases.Start("ingest")
@@ -234,6 +244,7 @@ func LoadArchiveObs(mounts *archive.Mounts, metahosts []int, dir string, rec *ob
 		decoded.Add(1)
 		return nil
 	}
+	var ctxCancelled atomic.Bool
 	for w := 0; w < width; w++ {
 		wg.Add(1)
 		go func() {
@@ -241,6 +252,10 @@ func LoadArchiveObs(mounts *archive.Mounts, metahosts []int, dir string, rec *ob
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
+					return
+				}
+				if ctx.Err() != nil {
+					ctxCancelled.Store(true)
 					return
 				}
 				// First-error cancellation: skip items after the lowest
@@ -267,6 +282,9 @@ func LoadArchiveObs(mounts *archive.Mounts, metahosts []int, dir string, rec *ob
 	m.bytes.Add(float64(bytesRead.Load()))
 	if idx := minErr.Load(); idx < int64(len(items)) {
 		return nil, errs[idx]
+	}
+	if ctxCancelled.Load() {
+		return nil, fmt.Errorf("replay: archive load aborted: %w", context.Cause(ctx))
 	}
 	rec.Log.Debug("archive loaded", "dir", dir, "traces", len(items),
 		"bytes", bytesRead.Load(), "pool_width", width,
@@ -390,6 +408,17 @@ func checkCommCoverage(comms map[int32][]int32, n int) error {
 // subset), and clock-violation/repair counts — is reported into
 // cfg.Obs (or obs.Default).
 func Analyze(traces []*trace.Trace, cfg Config) (*Result, error) {
+	return AnalyzeContext(context.Background(), traces, cfg)
+}
+
+// AnalyzeContext is Analyze honoring ctx: cancellation is checked
+// between the sync, replay, and pattern-search phases, and inside the
+// replay it wakes workers blocked on message matching or collective
+// gathers and trips the periodic sweep poll, so even an analysis of a
+// huge archive stops promptly. The returned error wraps the context's
+// error (errors.Is-compatible with context.Canceled and
+// context.DeadlineExceeded).
+func AnalyzeContext(ctx context.Context, traces []*trace.Trace, cfg Config) (*Result, error) {
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("replay: no traces")
 	}
@@ -407,6 +436,9 @@ func Analyze(traces []*trace.Trace, cfg Config) (*Result, error) {
 	rec := obs.OrDefault(cfg.Obs)
 	m := newReplayMetrics(rec)
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("replay: analysis aborted before synchronization: %w", err)
+	}
 	syncSpan := rec.Phases.Start("sync")
 	corr, err := BuildCorrections(traces, cfg.Scheme)
 	syncSpan.End()
@@ -430,10 +462,31 @@ func Analyze(traces []*trace.Trace, cfg Config) (*Result, error) {
 	for _, t := range traces {
 		events += len(t.Events)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("replay: analysis aborted before replay: %w", err)
+	}
+
+	// The watcher translates a context cancellation into the analyzer's
+	// abort (waking blocked workers); it exits as soon as the replay
+	// phase finishes so no goroutine outlives the analysis.
+	watchDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				a.abortWith(ctx.Err())
+			case <-watchDone:
+			}
+		}()
+	}
 	replaySpan := rec.Phases.Start("replay")
 	a.run()
 	replayDur := replaySpan.End()
+	close(watchDone)
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("replay: analysis aborted before pattern search: %w", err)
+	}
 	patternSpan := rec.Phases.Start("pattern-search")
 	res, rerr := a.result()
 	patternSpan.End()
@@ -535,13 +588,20 @@ func newReplayMetrics(rec *obs.Recorder) *replayMetrics {
 // from the mounts and analyze it. Archive loading is timed as the
 // top-level "archive" phase.
 func AnalyzeArchive(mounts *archive.Mounts, metahosts []int, dir string, cfg Config) (*Result, error) {
+	return AnalyzeArchiveContext(context.Background(), mounts, metahosts, dir, cfg)
+}
+
+// AnalyzeArchiveContext is AnalyzeArchive honoring ctx through both the
+// archive load and the analysis phases — the entry point services use
+// to bound a job's lifetime and to free its workers on cancellation.
+func AnalyzeArchiveContext(ctx context.Context, mounts *archive.Mounts, metahosts []int, dir string, cfg Config) (*Result, error) {
 	span := obs.OrDefault(cfg.Obs).Phases.Start("archive")
-	traces, err := LoadArchiveObs(mounts, metahosts, dir, cfg.Obs)
+	traces, err := LoadArchiveCtx(ctx, mounts, metahosts, dir, cfg.Obs)
 	span.End()
 	if err != nil {
 		return nil, err
 	}
-	return Analyze(traces, cfg)
+	return AnalyzeContext(ctx, traces, cfg)
 }
 
 // CommVolume is one cell of the metahost communication matrix.

@@ -6,6 +6,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"metascope/internal/obs"
 	"metascope/internal/pattern"
@@ -32,7 +33,10 @@ type sendRecord struct {
 // mailbox is the unbounded, order-preserving channel delivering send
 // records to one *receiver's* analysis process. put never blocks (the
 // original application's standard-mode sends were buffered), so replay
-// cannot deadlock if the traced application completed.
+// cannot deadlock if the traced application completed. An aborted
+// analysis (cancelled context) wakes every blocked receiver instead:
+// abort is set under the mailbox lock and broadcast, and take returns
+// ok=false so the worker can unwind.
 //
 // Records are sharded per receiver and, inside a receiver's mailbox,
 // keyed by exact matching signature (comm, src, tag). Matching is
@@ -49,9 +53,10 @@ type sendRecord struct {
 // heap objects at all: drained cells are deleted, and the map reuses
 // their buckets.
 type mailbox struct {
-	mu   sync.Mutex
-	cond sync.Cond // signaled by put; the receiver is the only waiter
-	q    map[sig]cell
+	mu    sync.Mutex
+	cond  sync.Cond // signaled by put and abort; the receiver is the only waiter
+	q     map[sig]cell
+	abort bool // set once when the analysis is cancelled
 }
 
 // sig is the exact matching signature within one receiver's mailbox.
@@ -94,18 +99,32 @@ func (mb *mailbox) put(r sendRecord) {
 	mb.cond.Broadcast()
 }
 
+// setAbort wakes a receiver blocked in take; subsequent takes on an
+// empty signature return immediately with ok=false.
+func (mb *mailbox) setAbort() {
+	mb.mu.Lock()
+	mb.abort = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
 // take blocks until a record with the exact signature (comm, source
-// world rank, tag) is available and removes the oldest such record.
+// world rank, tag) is available and removes the oldest such record;
+// ok=false means the analysis was aborted while (or before) waiting.
 // Once matched, the record is gone from the mailbox: a drained
 // signature's cell is deleted outright, and a shifted spill slot is
 // zeroed, so the backing storage holds no reference to matched records
 // (the old scan-and-splice left dead records alive in the slice's
 // spare capacity).
-func (mb *mailbox) take(comm, srcWorld, tag int32) sendRecord {
+func (mb *mailbox) take(comm, srcWorld, tag int32) (sendRecord, bool) {
 	s := sig{comm: comm, src: srcWorld, tag: tag}
 	mb.mu.Lock()
 	c := mb.q[s]
 	for c.count == 0 {
+		if mb.abort {
+			mb.mu.Unlock()
+			return sendRecord{}, false
+		}
 		mb.cond.Wait()
 		c = mb.q[s]
 	}
@@ -124,7 +143,7 @@ func (mb *mailbox) take(comm, srcWorld, tag int32) sendRecord {
 		mb.q[s] = c
 	}
 	mb.mu.Unlock()
-	return r
+	return r, true
 }
 
 // collGather coordinates the members of one collective instance: every
@@ -283,6 +302,16 @@ type analyzer struct {
 	// profCfg shapes the per-rank profile accumulators (shared interval
 	// axis derived from the corrected run span).
 	profCfg profile.Config
+
+	// Cancellation: abortWith trips once, waking every worker blocked in
+	// a mailbox take or a collective gather; replayRank also polls the
+	// flag periodically so a long event sweep unwinds promptly. cause
+	// (the context's error) is published before the atomic flag and the
+	// channel close, so any worker that observes the abort also sees it.
+	abortCh   chan struct{}
+	abortOnce sync.Once
+	aborted   atomic.Bool
+	cause     error
 }
 
 func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int32][]int32, cfg Config) *analyzer {
@@ -295,6 +324,7 @@ func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int3
 		colls:     make(map[int32]*collDomain, len(comms)),
 		results:   make([]*rankResult, len(traces)),
 		corrs:     corr,
+		abortCh:   make(chan struct{}),
 	}
 	for _, c := range corr {
 		a.corr[c.Rank] = c.Map
@@ -338,9 +368,32 @@ func (a *analyzer) run() {
 	wg.Wait()
 }
 
+// abortWith cancels the replay: every mailbox waiter and collective
+// gather unblocks, and the periodic sweep checks trip. The first cause
+// wins; later calls are no-ops.
+func (a *analyzer) abortWith(cause error) {
+	a.abortOnce.Do(func() {
+		a.cause = cause
+		a.aborted.Store(true)
+		close(a.abortCh)
+		for _, mb := range a.mailboxes {
+			mb.setAbort()
+		}
+	})
+}
+
+// cancelErr is the per-rank error a worker reports when it unwound
+// because of an abort; it wraps the context's error so callers can
+// errors.Is against context.Canceled / DeadlineExceeded.
+func (a *analyzer) cancelErr(rank int) error {
+	return fmt.Errorf("replay: rank %d: analysis aborted: %w", rank, a.cause)
+}
+
 // gatherColl coordinates one collective instance and returns the
-// completed gather. Only the instance's own communicator domain is
-// locked, so collectives on other communicators proceed concurrently.
+// completed gather, or nil if the analysis was aborted while waiting
+// for the remaining members. Only the instance's own communicator
+// domain is locked, so collectives on other communicators proceed
+// concurrently.
 func (a *analyzer) gatherColl(comm int32, seq, size, commRank int, enter, exit float64, mh int) *collGather {
 	d := a.colls[comm]
 	d.mu.Lock()
@@ -367,8 +420,12 @@ func (a *analyzer) gatherColl(comm int32, seq, size, commRank int, enter, exit f
 		close(g.done)
 	}
 	d.mu.Unlock()
-	<-g.done
-	return g
+	select {
+	case <-g.done:
+		return g
+	case <-a.abortCh:
+		return nil
+	}
 }
 
 // addRemote records a severity for another rank's call path.
@@ -424,6 +481,13 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 	var stack []stackEntry
 	events := t.Events
 	for i := 0; i < len(events); i++ {
+		// Periodic abort poll: a cancelled analysis must not finish a
+		// multi-million-event sweep first. Blocking points (mailbox
+		// takes, collective gathers) unblock through their own paths.
+		if i&1023 == 0 && a.aborted.Load() {
+			rr.err = a.cancelErr(rank)
+			return rr
+		}
 		ev := &events[i]
 		ct := corr.Apply(ev.Time) + delta
 		switch ev.Kind {
@@ -508,7 +572,11 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 				return rr
 			}
 			srcWorld := def[ev.Peer]
-			rec := a.mailboxes[rank].take(ev.Comm, srcWorld, ev.Tag)
+			rec, ok := a.mailboxes[rank].take(ev.Comm, srcWorld, ev.Tag)
+			if !ok {
+				rr.err = a.cancelErr(rank)
+				return rr
+			}
 			rr.messages++
 			rr.acc[top.cp].bytesRecv += float64(ev.Bytes)
 			if ct < rec.sendEvent {
@@ -574,6 +642,10 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 			seq := collSeq[ev.Comm]
 			collSeq[ev.Comm] = seq + 1
 			g := a.gatherColl(ev.Comm, seq, len(def), commRank, top.enter, ct, myMH)
+			if g == nil {
+				rr.err = a.cancelErr(rank)
+				return rr
+			}
 			rr.colls++
 			rr.replayBytes += collGatherWire
 			for _, wr := range def {

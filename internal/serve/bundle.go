@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"archive/zip"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+
+	"metascope/internal/archive"
+)
+
+// The upload wire format is an ordinary zip whose entries follow the
+// on-disk layout mtrun writes: one top-level directory per metahost
+// file system, each containing the experiment archive directory with
+// the local trace files,
+//
+//	mh0/epik_run/trace.0.mscp
+//	mh0/epik_run/trace.1.mscp
+//	mh1/epik_run/trace.2.mscp
+//
+// Exactly three path components per entry; anything else — absolute
+// paths, "..", backslashes, loose files — is rejected before a single
+// byte of trace data is decoded, and the total decompressed size is
+// bounded while reading, so a hostile upload cannot traverse paths or
+// balloon in memory.
+
+// maxZipFiles bounds the entry count of one upload; an experiment has
+// one trace per rank, so this allows jobs far beyond anything the
+// analyzer could replay in a request lifetime.
+const maxZipFiles = 65536
+
+// EncodeZip writes the experiment archive reachable through mounts as
+// an upload bundle: every distinct file system becomes one top-level
+// directory (mh0, mh1, … in first-mention order of metahosts), holding
+// the archive directory's files.
+func EncodeZip(w io.Writer, mounts *archive.Mounts, metahosts []int, dir string) error {
+	zw := zip.NewWriter(w)
+	seen := make(map[archive.FS]bool)
+	top := 0
+	for _, mh := range metahosts {
+		fs := mounts.For(mh)
+		if seen[fs] {
+			continue
+		}
+		seen[fs] = true
+		names, err := fs.List(dir)
+		if err != nil {
+			return fmt.Errorf("serve: listing archive %q: %w", dir, err)
+		}
+		for _, name := range names {
+			data, err := archive.ReadFile(fs, dir+"/"+name)
+			if err != nil {
+				return fmt.Errorf("serve: reading %s: %w", name, err)
+			}
+			f, err := zw.Create(fmt.Sprintf("mh%d/%s/%s", top, dir, name))
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write(data); err != nil {
+				return err
+			}
+		}
+		top++
+	}
+	return zw.Close()
+}
+
+// DecodeZip parses an upload bundle into in-memory mounts ready for
+// the analysis pipeline. maxBytes bounds the total decompressed size.
+// It returns the mounts, the metahost ids (one per top-level
+// directory, in lexical order), and the experiment archive directory
+// (the lexically first epik_* directory when several appear).
+func DecodeZip(data []byte, maxBytes int64) (*archive.Mounts, []int, string, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("serve: upload is not a zip archive: %w", err)
+	}
+	if len(zr.File) == 0 {
+		return nil, nil, "", fmt.Errorf("serve: upload bundle is empty")
+	}
+	if len(zr.File) > maxZipFiles {
+		return nil, nil, "", fmt.Errorf("serve: upload bundle has %d entries (limit %d)", len(zr.File), maxZipFiles)
+	}
+
+	type entry struct {
+		top, dir, name string
+		file           *zip.File
+	}
+	var entries []entry
+	archiveDir := ""
+	for _, f := range zr.File {
+		name := f.Name
+		if f.FileInfo().IsDir() || strings.HasSuffix(name, "/") {
+			continue
+		}
+		if strings.Contains(name, "\\") || path.IsAbs(name) || path.Clean(name) != name {
+			return nil, nil, "", fmt.Errorf("serve: unsafe bundle entry %q", name)
+		}
+		parts := strings.Split(name, "/")
+		if len(parts) != 3 {
+			return nil, nil, "", fmt.Errorf("serve: bundle entry %q: want metahost/archive/file layout", name)
+		}
+		for _, p := range parts {
+			if p == "" || p == "." || p == ".." {
+				return nil, nil, "", fmt.Errorf("serve: unsafe bundle entry %q", name)
+			}
+		}
+		if !archive.IsExperimentDir(parts[1]) {
+			return nil, nil, "", fmt.Errorf("serve: bundle entry %q: %q is not an experiment archive directory (epik_*)", name, parts[1])
+		}
+		if archiveDir == "" || parts[1] < archiveDir {
+			archiveDir = parts[1]
+		}
+		entries = append(entries, entry{top: parts[0], dir: parts[1], name: parts[2], file: f})
+	}
+	if len(entries) == 0 {
+		return nil, nil, "", fmt.Errorf("serve: upload bundle holds no files")
+	}
+
+	tops := make([]string, 0, 4)
+	seenTop := make(map[string]*archive.MemFS)
+	for _, e := range entries {
+		if seenTop[e.top] == nil {
+			seenTop[e.top] = archive.NewMemFS(e.top)
+			tops = append(tops, e.top)
+		}
+	}
+	sort.Strings(tops)
+
+	var total int64
+	for _, e := range entries {
+		fs := seenTop[e.top]
+		if !fs.Exists(e.dir) {
+			if err := fs.Mkdir(e.dir); err != nil {
+				return nil, nil, "", err
+			}
+		}
+		rc, err := e.file.Open()
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("serve: opening bundle entry %q: %w", e.file.Name, err)
+		}
+		// +1 so a file that exactly hits the remaining budget is
+		// distinguishable from one that exceeds it.
+		content, err := io.ReadAll(io.LimitReader(rc, maxBytes-total+1))
+		rc.Close()
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("serve: reading bundle entry %q: %w", e.file.Name, err)
+		}
+		total += int64(len(content))
+		if total > maxBytes {
+			return nil, nil, "", fmt.Errorf("serve: upload decompresses beyond the %d-byte limit", maxBytes)
+		}
+		w, err := fs.Create(e.dir + "/" + e.name)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if _, err := w.Write(content); err != nil {
+			w.Close()
+			return nil, nil, "", err
+		}
+		if err := w.Close(); err != nil {
+			return nil, nil, "", err
+		}
+	}
+
+	mounts := archive.NewMounts()
+	metahosts := make([]int, len(tops))
+	for i, top := range tops {
+		mounts.Mount(i, seenTop[top])
+		metahosts[i] = i
+	}
+	return mounts, metahosts, archiveDir, nil
+}
+
+// isTraceFile mirrors the loader's trace.<rank>.mscp naming check.
+func isTraceFile(name string) bool {
+	return strings.HasPrefix(name, "trace.") && strings.HasSuffix(name, ".mscp")
+}
+
+// Digest hashes the experiment's trace content: every trace file's
+// name, size, and bytes across all distinct file systems, in sorted
+// file-name order. Byte-identical archives digest identically no
+// matter how they were submitted (upload or server-side path) or how
+// their traces are spread over file systems, so the result cache
+// collapses them into one entry.
+func Digest(mounts *archive.Mounts, metahosts []int, dir string) (string, error) {
+	type tf struct {
+		name string
+		fs   archive.FS
+	}
+	var files []tf
+	seen := make(map[archive.FS]bool)
+	for _, mh := range metahosts {
+		fs := mounts.For(mh)
+		if seen[fs] {
+			continue
+		}
+		seen[fs] = true
+		names, err := fs.List(dir)
+		if err != nil {
+			return "", fmt.Errorf("serve: listing archive %q: %w", dir, err)
+		}
+		for _, name := range names {
+			if isTraceFile(name) {
+				files = append(files, tf{name: name, fs: fs})
+			}
+		}
+	}
+	if len(files) == 0 {
+		return "", fmt.Errorf("serve: archive %q contains no trace files", dir)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].name < files[j].name })
+
+	h := sha256.New()
+	var sz [8]byte
+	for _, f := range files {
+		data, err := archive.ReadFile(f.fs, dir+"/"+f.name)
+		if err != nil {
+			return "", fmt.Errorf("serve: reading %s: %w", f.name, err)
+		}
+		io.WriteString(h, f.name)
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(sz[:], uint64(len(data)))
+		h.Write(sz[:])
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is the analysis-result cache: a fixed-capacity, mutex-guarded
+// least-recently-used map. The server keys it by archive content
+// digest plus analysis configuration, so two submissions of
+// byte-identical archives share one entry — the second upload is
+// served without touching the queue — while archives differing in a
+// single byte, or the same archive analyzed under another
+// synchronization scheme, occupy distinct entries.
+//
+// Values are immutable once inserted (the server stores completed
+// *replay.Result values and never mutates them), so Get can hand the
+// stored value to concurrent readers without copying.
+type LRU struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// NewLRU creates a cache holding at most max entries. max < 1 yields a
+// disabled cache: Put discards and Get always misses.
+func NewLRU(max int) *LRU {
+	return &LRU{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and refreshes its recency.
+func (c *LRU) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or replaces a value, evicting the least recently used
+// entry when the cache is over capacity.
+func (c *LRU) Put(key string, val any) {
+	if c.max < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Keys returns the keys from most to least recently used (tests assert
+// eviction order through it).
+func (c *LRU) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).key)
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestLRUEvictionOrder: the least recently *used* entry goes first —
+// a Get refreshes recency, so filling past capacity evicts in use
+// order, not insertion order.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU(3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if _, ok := c.Get("a"); !ok { // a becomes most recent
+		t.Fatal("a missing")
+	}
+	c.Put("d", 4) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived past capacity; eviction is not LRU")
+	}
+	want := []string{"d", "a", "c"}
+	if got := c.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recency order = %v, want %v", got, want)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+}
+
+// TestLRUReplace: putting an existing key replaces the value in place
+// without growing the cache.
+func TestLRUReplace(t *testing.T) {
+	c := NewLRU(2)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after replacing, want 1", c.Len())
+	}
+	v, ok := c.Get("k")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("got %v/%v, want 2/true", v, ok)
+	}
+}
+
+// TestLRUDisabled: capacity < 1 disables the cache entirely.
+func TestLRUDisabled(t *testing.T) {
+	for _, max := range []int{0, -1} {
+		c := NewLRU(max)
+		c.Put("k", 1)
+		if _, ok := c.Get("k"); ok {
+			t.Fatalf("NewLRU(%d) cached an entry", max)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("NewLRU(%d) len = %d", max, c.Len())
+		}
+	}
+}
+
+// TestLRUIdenticalKeyCollapses mirrors the content-hash contract: two
+// puts under the digest of byte-identical archives land on one entry.
+func TestLRUIdenticalKeyCollapses(t *testing.T) {
+	c := NewLRU(8)
+	key := "sha256-of-identical-bytes|hier"
+	c.Put(key, "first")
+	c.Put(key, "second")
+	if c.Len() != 1 {
+		t.Fatalf("identical keys occupy %d entries, want 1", c.Len())
+	}
+	v, _ := c.Get(key)
+	if v != "second" {
+		t.Fatalf("got %v, want the latest value", v)
+	}
+}
+
+// TestLRUConcurrent hammers one small cache from many goroutines with
+// overlapping keys; the race detector owns the assertions, the code
+// just checks invariants hold afterwards.
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%24)
+				if i%3 == 0 {
+					c.Put(key, i)
+				} else {
+					c.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 16 {
+		t.Fatalf("len = %d exceeds capacity 16", n)
+	}
+	if n := len(c.Keys()); n != c.Len() {
+		t.Fatalf("keys (%d) and len (%d) disagree", n, c.Len())
+	}
+}

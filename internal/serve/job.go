@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"metascope/internal/archive"
+	"metascope/internal/replay"
+	"metascope/internal/vclock"
+)
+
+// State is a job's lifecycle position. Transitions are monotone:
+// queued → running → {done, failed}; queued/running → cancelled.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a job has reached a final state.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel cancellation causes, distinguishable from an analysis error
+// through context.Cause.
+var (
+	errJobCancelled = errors.New("serve: job cancelled by request")
+	errJobTimeout   = errors.New("serve: job exceeded its time budget")
+	errDrainAborted = errors.New("serve: server drain deadline expired")
+	errJobPanicked  = errors.New("serve: analysis panicked")
+)
+
+// job is one submitted analysis. Mutable fields are guarded by the
+// server's mutex; done is closed exactly once when the job reaches a
+// terminal state, so waiters never poll.
+type job struct {
+	id        string
+	source    string // "upload" or "path"
+	digest    string
+	cacheKey  string
+	scheme    vclock.Scheme
+	mounts    *archive.Mounts
+	metahosts []int
+	dir       string
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+
+	state      State
+	cached     bool
+	err        string
+	failStatus int // HTTP status the result endpoint reports for a failure
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	result     *replay.Result
+}
+
+// JobStatus is the JSON view of a job.
+type JobStatus struct {
+	ID     string `json:"id"`
+	State  State  `json:"state"`
+	Scheme string `json:"scheme"`
+	Source string `json:"source"`
+	Digest string `json:"digest"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+
+	WaitSeconds float64 `json:"wait_seconds"`
+	RunSeconds  float64 `json:"run_seconds,omitempty"`
+
+	// Analysis statistics, present once the job is done.
+	Messages    int `json:"messages,omitempty"`
+	Collectives int `json:"collectives,omitempty"`
+	Violations  int `json:"violations,omitempty"`
+	Repairs     int `json:"repairs,omitempty"`
+}
+
+// statusLocked builds the JSON view; the server's mutex must be held.
+func (j *job) statusLocked(now time.Time) JobStatus {
+	st := JobStatus{
+		ID:     j.id,
+		State:  j.state,
+		Scheme: j.scheme.String(),
+		Source: j.source,
+		Digest: j.digest,
+		Cached: j.cached,
+		Error:  j.err,
+	}
+	switch {
+	case j.state == StateQueued:
+		st.WaitSeconds = now.Sub(j.submitted).Seconds()
+	case j.started.IsZero(): // cancelled while queued, or served from cache
+		st.WaitSeconds = j.finished.Sub(j.submitted).Seconds()
+	default:
+		st.WaitSeconds = j.started.Sub(j.submitted).Seconds()
+		if j.state == StateRunning {
+			st.RunSeconds = now.Sub(j.started).Seconds()
+		} else {
+			st.RunSeconds = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	if j.result != nil {
+		st.Messages = j.result.Messages
+		st.Collectives = j.result.Collectives
+		st.Violations = j.result.Violations
+		st.Repairs = j.result.Repairs
+	}
+	return st
+}
+
+// worker is one pool goroutine: it drains the FIFO queue until the
+// queue is closed by Drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runOne(j)
+	}
+}
+
+// runOne executes a single job with timeout, cancellation, and panic
+// isolation.
+func (s *Server) runOne(j *job) {
+	s.mu.Lock()
+	s.m.queueDepth.Set(float64(len(s.queue)))
+	if j.state != StateQueued { // cancelled while waiting in the queue
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.m.waitSeconds.Observe(j.started.Sub(j.submitted).Seconds())
+	s.mu.Unlock()
+
+	s.m.workersBusy.Add(1)
+	defer s.m.workersBusy.Add(-1)
+
+	ctx := j.ctx
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, s.opts.JobTimeout, errJobTimeout)
+		defer cancel()
+	}
+	res, err := s.execute(ctx, j)
+	s.finish(j, res, err)
+}
+
+// execute isolates one job: a panicking analysis (a corrupt archive
+// tripping an unguarded path) is converted into a job failure instead
+// of taking down the server.
+func (s *Server) execute(ctx context.Context, j *job) (res *replay.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("%w: %v", errJobPanicked, p)
+		}
+	}()
+	return s.runJob(ctx, j)
+}
+
+// analyze is the production job runner: the full sync → replay → cube
+// → profile pipeline under the job's context.
+func (s *Server) analyze(ctx context.Context, j *job) (*replay.Result, error) {
+	return replay.AnalyzeArchiveContext(ctx, j.mounts, j.metahosts, j.dir, replay.Config{
+		Scheme: j.scheme,
+		Title:  fmt.Sprintf("%s (%v)", j.dir, j.scheme),
+		Obs:    s.rec,
+	})
+}
+
+// finish moves a job to its terminal state and classifies the outcome
+// for metrics and for the result endpoint's HTTP status.
+func (s *Server) finish(j *job, res *replay.Result, err error) {
+	outcome := "done"
+	s.mu.Lock()
+	j.finished = time.Now()
+	dur := j.finished.Sub(j.started).Seconds()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+	case context.Cause(j.ctx) == errJobCancelled || context.Cause(j.ctx) == errDrainAborted:
+		j.state = StateCancelled
+		j.err = err.Error()
+		outcome = "cancelled"
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, errJobTimeout):
+		j.state = StateFailed
+		j.err = fmt.Sprintf("job exceeded its %v time budget: %v", s.opts.JobTimeout, err)
+		j.failStatus = http.StatusGatewayTimeout
+		outcome = "timeout"
+	case errors.Is(err, errJobPanicked):
+		j.state = StateFailed
+		j.err = err.Error()
+		j.failStatus = http.StatusInternalServerError
+		outcome = "panic"
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		j.failStatus = http.StatusUnprocessableEntity
+		outcome = "failed"
+	}
+	close(j.done)
+	s.mu.Unlock()
+
+	if j.state == StateDone && j.cacheKey != "" {
+		s.cache.Put(j.cacheKey, res)
+		s.m.cacheEntries.Set(float64(s.cache.Len()))
+	}
+	s.m.jobSeconds.Observe(dur)
+	s.m.outcomes.With(outcome).Inc()
+	s.rec.Log.Debug("job finished", "id", j.id, "state", string(j.state),
+		"seconds", fmt.Sprintf("%.3f", dur), "err", j.err)
+}

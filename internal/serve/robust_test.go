@@ -1,0 +1,588 @@
+package serve
+
+import (
+	"archive/zip"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	stdhttptest "net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"metascope/internal/archive"
+	"metascope/internal/conformance"
+	"metascope/internal/obs"
+	"metascope/internal/replay"
+	"metascope/internal/trace"
+)
+
+// The robustness contract: whatever a client throws at the service —
+// hostile uploads, corrupt archives, bursts past capacity, jobs that
+// hang or panic, cancellations mid-flight — every request must come
+// back as a structured JSON error with the right status, the worker
+// pool must keep serving, and the process must never go down.
+
+// blockedServer builds a server whose runJob parks on the job context
+// until it is cancelled — the stand-in for an analysis that takes
+// forever.
+func blockedServer(t testing.TB, opts Options) (*Server, *stdhttptest.Server) {
+	t.Helper()
+	s, ts := newTestServer(t, opts)
+	s.runJob = func(ctx context.Context, j *job) (*replay.Result, error) {
+		<-ctx.Done()
+		return nil, context.Cause(ctx)
+	}
+	// Cleanups run LIFO: release every stuck job before newTestServer's
+	// drain waits on the pool.
+	t.Cleanup(func() {
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel(errJobCancelled)
+		}
+		s.mu.Unlock()
+	})
+	return s, ts
+}
+
+// testRecorder returns a quiet recorder for tests that build servers
+// by hand.
+func testRecorder() *obs.Recorder { return obs.NewRecorder() }
+
+// httptestStart serves a hand-built server over httptest; only the
+// HTTP side is torn down at cleanup (the test drains explicitly).
+func httptestStart(t testing.TB, s *Server) *stdhttptest.Server {
+	t.Helper()
+	ts := stdhttptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// decodeErr parses a structured error response.
+func decodeErr(t testing.TB, resp *http.Response) jsonError {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("error response Content-Type = %q, want application/json", ct)
+	}
+	var je jsonError
+	if err := json.NewDecoder(resp.Body).Decode(&je); err != nil {
+		t.Fatalf("error body is not the structured JSON shape: %v", err)
+	}
+	if je.Status != resp.StatusCode {
+		t.Errorf("body status %d disagrees with HTTP status %d", je.Status, resp.StatusCode)
+	}
+	if je.Error == "" {
+		t.Error("structured error carries no message")
+	}
+	return je
+}
+
+// TestRobustBadUploads drives the submission endpoint with malformed
+// bodies and URLs; every case must be a clean 4xx JSON error.
+func TestRobustBadUploads(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	traversal := func(entry string) []byte {
+		var buf bytes.Buffer
+		return newZipWith(t, &buf, map[string][]byte{entry: []byte("x")})
+	}
+	cases := []struct {
+		name  string
+		query string
+		body  []byte
+	}{
+		{"empty body", "", nil},
+		{"not a zip", "", []byte("these are not the bytes you are looking for")},
+		{"bad scheme", "?scheme=vibes", validZip(t)},
+		{"path without root", "?path=run1", nil},
+		{"loose file", "", traversal("loose.mscp")},
+		{"two components", "", traversal("mh0/trace.0.mscp")},
+		{"four components", "", traversal("mh0/epik_a/sub/trace.0.mscp")},
+		{"dotdot", "", traversal("mh0/epik_a/../trace.0.mscp")},
+		{"absolute", "", traversal("/mh0/epik_a/trace.0.mscp")},
+		{"backslash", "", traversal(`mh0\epik_a\trace.0.mscp`)},
+		{"not an experiment dir", "", traversal("mh0/results/trace.0.mscp")},
+		{"no trace files", "", traversal("mh0/epik_a/readme.txt")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/jobs"+tc.query, "application/zip", bytes.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			je := decodeErr(t, resp)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d (%s), want 400", resp.StatusCode, je.Error)
+			}
+		})
+	}
+}
+
+// newZipWith writes a zip holding the given entries.
+func newZipWith(t testing.TB, buf *bytes.Buffer, entries map[string][]byte) []byte {
+	t.Helper()
+	zw := zip.NewWriter(buf)
+	for name, data := range entries {
+		f, err := zw.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// validZip returns a well-formed oracle bundle for cases where only
+// the query string is at fault.
+func validZip(t testing.TB) []byte { return oracleBundles(t)[0].zip }
+
+// TestRobustFaultCorpus submits damaged archives — truncated traces,
+// bit flips, garbage, missing ranks — through the real pipeline. Every
+// job must reach the failed state with a 4xx/5xx structured error on
+// the result endpoint; the server must keep answering and finish a
+// healthy job afterwards.
+func TestRobustFaultCorpus(t *testing.T) {
+	faults := []struct {
+		name   string
+		mutate func(t *testing.T, f *conformance.Fixture)
+	}{
+		{"truncated trace", func(t *testing.T, f *conformance.Fixture) {
+			must(t, f.MutateRaw(0, func(b []byte) []byte { return b[:len(b)/2] }))
+		}},
+		{"garbage trace", func(t *testing.T, f *conformance.Fixture) {
+			must(t, f.WriteRaw(1, []byte("mscp?this is not a trace")))
+		}},
+		{"empty trace", func(t *testing.T, f *conformance.Fixture) {
+			must(t, f.WriteRaw(0, nil))
+		}},
+		{"missing rank", func(t *testing.T, f *conformance.Fixture) {
+			must(t, f.RemoveTrace(1))
+		}},
+		{"unbalanced regions", func(t *testing.T, f *conformance.Fixture) {
+			must(t, f.MutateTrace(0, func(tr *trace.Trace) {
+				if len(tr.Events) > 2 {
+					tr.Events = tr.Events[:len(tr.Events)-1]
+				}
+			}))
+		}},
+	}
+
+	_, ts := newTestServer(t, Options{Workers: 2})
+	for i, fc := range faults {
+		fc := fc
+		t.Run(fc.name, func(t *testing.T) {
+			f, err := conformance.NewFixture(int64(100 + i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fc.mutate(t, f)
+			var buf bytes.Buffer
+			if err := EncodeZip(&buf, f.Exp.Mounts(), f.Exp.Place.MetahostsUsed(), f.Dir); err != nil {
+				t.Fatalf("encoding mutated fixture: %v", err)
+			}
+			st, resp := submitZip(t, ts.URL, buf.Bytes(), "")
+			if resp.StatusCode == http.StatusBadRequest {
+				return // rejected at decode time: equally acceptable, equally structured
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit: status %d", resp.StatusCode)
+			}
+			final := awaitJob(t, ts.URL, st.ID)
+			if final.State != StateFailed {
+				t.Fatalf("damaged archive reached state %s, want failed", final.State)
+			}
+			if final.Error == "" {
+				t.Fatal("failed job carries no error message")
+			}
+			rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+			if err != nil {
+				t.Fatal(err)
+			}
+			je := decodeErr(t, rr)
+			if rr.StatusCode < 400 {
+				t.Fatalf("failed job's result endpoint answered %d (%s)", rr.StatusCode, je.Error)
+			}
+		})
+	}
+
+	// The pool must have survived the whole corpus.
+	b := oracleBundles(t)[0]
+	st, _ := submitZip(t, ts.URL, b.zip, "")
+	checkJobOracle(t, ts.URL, awaitJob(t, ts.URL, st.ID), b)
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRobustPanicIsolation: a panicking analysis fails only its own
+// job (500, outcome "panic"); the worker keeps serving.
+func TestRobustPanicIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, CacheEntries: -1})
+	real := s.runJob
+	boom := true
+	s.runJob = func(ctx context.Context, j *job) (*replay.Result, error) {
+		if boom {
+			boom = false
+			panic("analyzer tripped over the archive")
+		}
+		return real(ctx, j)
+	}
+
+	b := oracleBundles(t)[0]
+	st, _ := submitZip(t, ts.URL, b.zip, "")
+	final := awaitJob(t, ts.URL, st.ID)
+	if final.State != StateFailed {
+		t.Fatalf("panicked job state %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "panicked") {
+		t.Fatalf("panicked job error %q does not say so", final.Error)
+	}
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeErr(t, rr)
+	if rr.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked job result status %d, want 500", rr.StatusCode)
+	}
+
+	// The same worker must complete the next job.
+	st2, _ := submitZip(t, ts.URL, b.zip, "")
+	checkJobOracle(t, ts.URL, awaitJob(t, ts.URL, st2.ID), b)
+	if v := s.m.outcomes.With("panic").Value(); v != 1 {
+		t.Fatalf("panic outcome metric = %v, want 1", v)
+	}
+}
+
+// TestRobustJobTimeout: a job exceeding its budget fails with a
+// structured timeout (504) instead of hanging, and the slot frees.
+func TestRobustJobTimeout(t *testing.T) {
+	s, ts := blockedServer(t, Options{Workers: 1, JobTimeout: 50 * time.Millisecond, CacheEntries: -1})
+	b := oracleBundles(t)[0]
+
+	st, _ := submitZip(t, ts.URL, b.zip, "")
+	final := awaitJob(t, ts.URL, st.ID)
+	if final.State != StateFailed {
+		t.Fatalf("timed-out job state %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "time budget") {
+		t.Fatalf("timeout error %q does not name the budget", final.Error)
+	}
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeErr(t, rr)
+	if rr.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timeout result status %d, want 504", rr.StatusCode)
+	}
+
+	// The slot freed: the next (equally stuck) job must get to run.
+	st2, _ := submitZip(t, ts.URL, b.zip, "")
+	waitState(t, s, st2.ID, StateRunning)
+}
+
+// TestRobustCancelRunning: DELETE on a running job interrupts it,
+// marks it cancelled, and frees the worker slot.
+func TestRobustCancelRunning(t *testing.T) {
+	s, ts := blockedServer(t, Options{Workers: 1, CacheEntries: -1})
+	b := oracleBundles(t)[0]
+
+	st, _ := submitZip(t, ts.URL, b.zip, "")
+	waitState(t, s, st.ID, StateRunning)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	final := awaitJob(t, ts.URL, st.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("cancelled job state %s, want cancelled", final.State)
+	}
+
+	// Slot freed: a second job starts running.
+	st2, _ := submitZip(t, ts.URL, b.zip, "")
+	waitState(t, s, st2.ID, StateRunning)
+
+	// Cancelling again is idempotent.
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second cancel: status %d", resp2.StatusCode)
+	}
+}
+
+// TestRobustCancelQueued: cancelling a job still in the queue releases
+// it immediately; the worker later skips the corpse.
+func TestRobustCancelQueued(t *testing.T) {
+	s, ts := blockedServer(t, Options{Workers: 1, QueueDepth: 4, CacheEntries: -1})
+	b := oracleBundles(t)[0]
+
+	run, _ := submitZip(t, ts.URL, b.zip, "")
+	waitState(t, s, run.ID, StateRunning)
+	queued, _ := submitZip(t, ts.URL, b.zip, "")
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != StateCancelled {
+		t.Fatalf("queued job state after cancel = %s, want cancelled (immediately)", st.State)
+	}
+}
+
+// TestRobustResultConflict: the result of a queued/running job answers
+// 409; unknown jobs answer 404 everywhere.
+func TestRobustResultConflict(t *testing.T) {
+	s, ts := blockedServer(t, Options{Workers: 1, CacheEntries: -1})
+	b := oracleBundles(t)[0]
+	st, _ := submitZip(t, ts.URL, b.zip, "")
+	waitState(t, s, st.ID, StateRunning)
+
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeErr(t, rr)
+	if rr.StatusCode != http.StatusConflict {
+		t.Fatalf("running job result status %d, want 409", rr.StatusCode)
+	}
+
+	for _, path := range []string{"/v1/jobs/job-999", "/v1/jobs/job-999/result", "/v1/jobs/job-999/profile", "/v1/diff?a=job-999&b=job-999"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeErr(t, resp)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRobustPathSubmission materializes an archive under a root
+// directory and submits it by name; escapes of the root must be 400.
+func TestRobustPathSubmission(t *testing.T) {
+	b := oracleBundles(t)[0]
+	root := t.TempDir()
+	if err := extractZipTree(filepath.Join(root, "run1"), b.zip); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Options{Workers: 1, Root: root})
+	st, resp := submitZip(t, ts.URL, nil, "?path=run1")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("path submit: status %d", resp.StatusCode)
+	}
+	if st.Source != "path" {
+		t.Fatalf("source = %q, want path", st.Source)
+	}
+	checkJobOracle(t, ts.URL, awaitJob(t, ts.URL, st.ID), b)
+
+	for _, p := range []string{"../run1", "/etc", "..", "nosuchdir"} {
+		resp, err := http.Post(ts.URL+"/v1/jobs?path="+p, "application/zip", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeErr(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("path %q: status %d, want 400", p, resp.StatusCode)
+		}
+	}
+}
+
+// extractZipTree unpacks an upload bundle to disk in the mtrun layout
+// MountTree expects.
+func extractZipTree(dst string, data []byte) error {
+	mounts, metahosts, dir, err := DecodeZip(data, int64(len(data))*100+1024)
+	if err != nil {
+		return err
+	}
+	seen := map[archive.FS]bool{}
+	top := 0
+	for _, mh := range metahosts {
+		fs := mounts.For(mh)
+		if seen[fs] {
+			continue
+		}
+		seen[fs] = true
+		names, err := fs.List(dir)
+		if err != nil {
+			return err
+		}
+		sub := filepath.Join(dst, fmt.Sprintf("mh%d", top), dir)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return err
+		}
+		for _, name := range names {
+			content, err := archive.ReadFile(fs, dir+"/"+name)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(sub, name), content, 0o644); err != nil {
+				return err
+			}
+		}
+		top++
+	}
+	return nil
+}
+
+// TestRobustUploadBudget: a bundle whose decompressed size exceeds the
+// configured budget is rejected before analysis.
+func TestRobustUploadBudget(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxUploadBytes: 1024})
+	var buf bytes.Buffer
+	newZipWith(t, &buf, map[string][]byte{
+		"mh0/epik_big/trace.0.mscp": bytes.Repeat([]byte("A"), 64<<10),
+	})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/zip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeErr(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized upload: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRobustDrain: a draining server rejects new work with 503,
+// reports draining on /healthz, finishes what it accepted, and a
+// too-slow job is cancelled when the drain deadline expires.
+func TestRobustDrain(t *testing.T) {
+	b := oracleBundles(t)[0]
+
+	t.Run("finishes accepted work", func(t *testing.T) {
+		// Not via newTestServer: this test drains explicitly.
+		s := New(Options{Workers: 1, Obs: testRecorder()})
+		ts := httptestStart(t, s)
+		st, _ := submitZip(t, ts.URL, b.zip, "")
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		final := awaitJob(t, ts.URL, st.ID)
+		checkJobOracle(t, ts.URL, final, b)
+
+		_, resp := submitZip(t, ts.URL, b.zip, "")
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("submit while drained: status %d, want 503", resp.StatusCode)
+		}
+		hr, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h Health
+		if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
+			t.Fatalf("healthz after drain: status %d %q, want 503 draining", hr.StatusCode, h.Status)
+		}
+	})
+
+	t.Run("deadline cancels stuck jobs", func(t *testing.T) {
+		s := New(Options{Workers: 1, CacheEntries: -1, Obs: testRecorder()})
+		s.runJob = func(ctx context.Context, j *job) (*replay.Result, error) {
+			<-ctx.Done()
+			return nil, context.Cause(ctx)
+		}
+		ts := httptestStart(t, s)
+		st, _ := submitZip(t, ts.URL, b.zip, "")
+		waitState(t, s, st.ID, StateRunning)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		if err := s.Drain(ctx); err != context.DeadlineExceeded {
+			t.Fatalf("drain past deadline returned %v, want DeadlineExceeded", err)
+		}
+		final := awaitJob(t, ts.URL, st.ID)
+		if final.State != StateCancelled {
+			t.Fatalf("stuck job after forced drain: %s, want cancelled", final.State)
+		}
+	})
+}
+
+// TestRobustStatusLongPollTimeout: a bounded ?wait on a stuck job
+// returns (with the non-terminal state) instead of hanging.
+func TestRobustStatusLongPollTimeout(t *testing.T) {
+	s, ts := blockedServer(t, Options{Workers: 1, CacheEntries: -1})
+	b := oracleBundles(t)[0]
+	st, _ := submitZip(t, ts.URL, b.zip, "")
+	waitState(t, s, st.ID, StateRunning)
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "?wait=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.State != StateRunning {
+		t.Fatalf("state %s, want running", got.State)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bounded wait took %v", elapsed)
+	}
+}
+
+// TestRobustJobList checks the listing endpoint reports every
+// submission in order.
+func TestRobustJobList(t *testing.T) {
+	b := oracleBundles(t)[0]
+	_, ts := newTestServer(t, Options{Workers: 2, CacheEntries: -1})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, _ := submitZip(t, ts.URL, b.zip, "")
+		ids = append(ids, st.ID)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != len(ids) {
+		t.Fatalf("list has %d jobs, want %d", len(list), len(ids))
+	}
+	for i, st := range list {
+		if st.ID != ids[i] {
+			t.Fatalf("list[%d] = %s, want %s (submission order)", i, st.ID, ids[i])
+		}
+	}
+	for _, id := range ids {
+		awaitJob(t, ts.URL, id)
+	}
+}

@@ -1,0 +1,626 @@
+// Package serve is the HTTP front-end over the analysis pipeline: a
+// concurrent analysis service accepting experiment archives (uploaded
+// as zip bundles or named by a server-side path), running the full
+// sync → replay → cube → profile pipeline through a bounded worker
+// pool behind a FIFO queue, and serving results from an LRU cache
+// keyed by archive content digest.
+//
+// Robustness is first-class:
+//
+//   - queue backpressure: a full queue rejects with 429 and a
+//     Retry-After estimate instead of buffering without bound;
+//   - per-job timeouts and cancellation: every job runs under a
+//     context that DELETE /v1/jobs/{id} cancels and the job timeout
+//     expires; the replay honors it (replay.AnalyzeArchiveContext), so
+//     a cancelled job frees its worker slot promptly;
+//   - panic isolation: a corrupt archive that panics the analyzer
+//     fails only its own job;
+//   - graceful drain: Drain stops intake (503), finishes accepted
+//     work, and hard-cancels what is still running when its context
+//     expires.
+//
+// The server reports itself through an obs recorder — queue depth,
+// busy workers, cache hit ratio, job latency histograms — exposed on
+// GET /metrics in Prometheus text format and on the usual
+// -metrics-out path of cmd/mtserved.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"metascope/internal/archive"
+	"metascope/internal/cube"
+	"metascope/internal/obs"
+	"metascope/internal/replay"
+	"metascope/internal/vclock"
+)
+
+// DefaultMaxUploadBytes bounds the decompressed size of one upload.
+const DefaultMaxUploadBytes = 256 << 20
+
+// Options configures a Server. The zero value is usable: every field
+// has a production default.
+type Options struct {
+	// Workers is the analysis pool width (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is the number of accepted-but-not-running jobs the
+	// FIFO queue holds before submissions are rejected with 429
+	// (default 64).
+	QueueDepth int
+	// CacheEntries is the result-cache capacity (default 128; negative
+	// disables caching).
+	CacheEntries int
+	// JobTimeout bounds one job's analysis wall time (default 5m;
+	// negative disables the timeout).
+	JobTimeout time.Duration
+	// Root is the directory server-side path submissions resolve
+	// under; empty forbids path submissions (upload only).
+	Root string
+	// MaxUploadBytes bounds the decompressed size of one uploaded
+	// bundle (default DefaultMaxUploadBytes).
+	MaxUploadBytes int64
+	// Scheme is the default synchronization scheme when a submission
+	// does not pass one. The zero value selects hierarchical (the
+	// pipeline's usual default); a request can always choose another
+	// scheme explicitly with ?scheme=.
+	Scheme vclock.Scheme
+	// Obs receives the service's own telemetry (nil selects
+	// obs.Default).
+	Obs *obs.Recorder
+}
+
+// Server is the analysis service. Create it with New; it is ready to
+// serve as soon as New returns and stops through Drain.
+type Server struct {
+	opts  Options
+	rec   *obs.Recorder
+	m     *serveMetrics
+	cache *LRU
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for the list endpoint
+	nextID   int64
+	queue    chan *job
+	draining bool
+	ewmaSec  float64 // exponentially weighted job duration, for Retry-After
+
+	wg sync.WaitGroup
+
+	// runJob executes one job's analysis; tests substitute it to make
+	// timing deterministic. The default is (*Server).analyze.
+	runJob func(ctx context.Context, j *job) (*replay.Result, error)
+}
+
+// New creates a server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 128
+	}
+	if opts.JobTimeout == 0 {
+		opts.JobTimeout = 5 * time.Minute
+	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if opts.Scheme == 0 {
+		opts.Scheme = vclock.Hierarchical
+	}
+	s := &Server{
+		opts:  opts,
+		rec:   obs.OrDefault(opts.Obs),
+		cache: NewLRU(opts.CacheEntries),
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, opts.QueueDepth),
+	}
+	s.m = newServeMetrics(s.rec)
+	s.runJob = s.analyze
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.rec.Log.Info("analysis service ready", "workers", opts.Workers,
+		"queue_depth", opts.QueueDepth, "cache_entries", opts.CacheEntries,
+		"job_timeout", opts.JobTimeout.String())
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully stops the server: new submissions are rejected with
+// 503, accepted jobs (queued and running) are given until ctx expires
+// to finish, then hard-cancelled. It returns nil when every worker
+// exited before the deadline.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("serve: already draining")
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.rec.Log.Info("draining: intake closed, waiting for accepted jobs")
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if !j.state.terminal() {
+				if j.state == StateQueued {
+					j.state = StateCancelled
+					j.err = errDrainAborted.Error()
+					j.finished = time.Now()
+					close(j.done)
+					s.m.outcomes.With("cancelled").Inc()
+				}
+				j.cancel(errDrainAborted)
+			}
+		}
+		s.mu.Unlock()
+		<-done // workers unwind promptly: the replay honors cancellation
+		return ctx.Err()
+	}
+}
+
+// jsonError is the structured error body of every non-2xx response.
+type jsonError struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, jsonError{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+// handleSubmit accepts a job: an uploaded zip bundle (request body) or
+// a server-side path (?path= under Options.Root). Optional query
+// parameters: scheme (flat1|flat2|hier), archive (explicit epik_*
+// directory name for path submissions). A content-digest cache hit
+// completes the job immediately without occupying a queue slot.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.m.rejected.With("draining").Inc()
+		s.fail(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+		return
+	}
+
+	scheme := s.opts.Scheme
+	if v := r.URL.Query().Get("scheme"); v != "" {
+		parsed, err := vclock.ParseScheme(v)
+		if err != nil {
+			s.m.rejected.With("bad_request").Inc()
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		scheme = parsed
+	}
+
+	var (
+		mounts    *archive.Mounts
+		metahosts []int
+		dir       string
+		source    string
+		err       error
+	)
+	if p := r.URL.Query().Get("path"); p != "" {
+		source = "path"
+		mounts, metahosts, dir, err = s.mountPath(p, r.URL.Query().Get("archive"))
+	} else {
+		source = "upload"
+		var body []byte
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
+		if err == nil && len(body) == 0 {
+			err = errors.New("empty request body: upload a zip bundle or pass ?path=")
+		}
+		if err == nil {
+			mounts, metahosts, dir, err = DecodeZip(body, s.opts.MaxUploadBytes)
+		}
+	}
+	if err == nil {
+		var digest string
+		digest, err = Digest(mounts, metahosts, dir)
+		if err == nil {
+			s.submit(w, r, &job{
+				source: source, digest: digest, scheme: scheme,
+				mounts: mounts, metahosts: metahosts, dir: dir,
+			})
+			return
+		}
+	}
+	s.m.rejected.With("bad_request").Inc()
+	s.fail(w, http.StatusBadRequest, "%v", err)
+}
+
+// mountPath resolves a server-side path submission strictly under the
+// configured root.
+func (s *Server) mountPath(p, dirOverride string) (*archive.Mounts, []int, string, error) {
+	if s.opts.Root == "" {
+		return nil, nil, "", errors.New("server-side path submissions are disabled (no -root)")
+	}
+	clean := filepath.Clean(p)
+	if filepath.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return nil, nil, "", fmt.Errorf("path %q escapes the serving root", p)
+	}
+	return archive.MountTree(filepath.Join(s.opts.Root, clean), dirOverride)
+}
+
+// submit registers the job and either serves it from the result cache
+// or enqueues it; a full queue rejects with 429 and a Retry-After
+// estimate derived from observed job latency.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, j *job) {
+	j.cacheKey = j.digest + "|" + j.scheme.String()
+	j.submitted = time.Now()
+	j.done = make(chan struct{})
+	j.ctx, j.cancel = context.WithCancelCause(context.Background())
+
+	cached, hit := s.cache.Get(j.cacheKey)
+	if hit {
+		s.m.cacheHits.Inc()
+	} else {
+		s.m.cacheMisses.Inc()
+	}
+	s.setCacheRatio()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.m.rejected.With("draining").Inc()
+		s.fail(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+		return
+	}
+	s.nextID++
+	j.id = "job-" + strconv.FormatInt(s.nextID, 10)
+	if hit {
+		j.state = StateDone
+		j.cached = true
+		j.result = cached.(*replay.Result)
+		j.finished = j.submitted
+		close(j.done)
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		st := j.statusLocked(time.Now())
+		s.mu.Unlock()
+		s.m.submitted.With(j.source).Inc()
+		s.m.outcomes.With("cache").Inc()
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	select {
+	case s.queue <- j:
+		j.state = StateQueued
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.m.queueDepth.Set(float64(len(s.queue)))
+		st := j.statusLocked(time.Now())
+		s.mu.Unlock()
+		s.m.submitted.With(j.source).Inc()
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, st)
+	default:
+		retry := s.retryAfterLocked()
+		s.mu.Unlock()
+		s.m.rejected.With("queue_full").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.fail(w, http.StatusTooManyRequests,
+			"analysis queue is full (%d waiting); retry in ~%ds", s.opts.QueueDepth, retry)
+	}
+}
+
+// retryAfterLocked estimates (in whole seconds, at least 1) how long
+// until a queue slot frees: the queue's drain time at the observed
+// per-job latency spread over the worker pool.
+func (s *Server) retryAfterLocked() int {
+	perJob := s.ewmaSec
+	if perJob <= 0 {
+		perJob = 1
+	}
+	est := perJob * float64(len(s.queue)+1) / float64(s.opts.Workers)
+	retry := int(math.Ceil(est))
+	if retry < 1 {
+		retry = 1
+	}
+	if retry > 600 {
+		retry = 600
+	}
+	return retry
+}
+
+// lookup fetches a job by the request's {id} path value.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		s.fail(w, http.StatusNotFound, "no such job %q", id)
+		return nil
+	}
+	return j
+}
+
+// handleStatus reports one job. ?wait=DUR (or wait=1 for "until the
+// request context ends") blocks until the job reaches a terminal
+// state, turning the status poll into a long poll.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if v := r.URL.Query().Get("wait"); v != "" {
+		waitCtx := r.Context()
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			var cancel context.CancelFunc
+			waitCtx, cancel = context.WithTimeout(waitCtx, d)
+			defer cancel()
+		}
+		select {
+		case <-j.done:
+		case <-waitCtx.Done():
+		}
+	}
+	s.mu.Lock()
+	st := j.statusLocked(time.Now())
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleList reports every job in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].statusLocked(now))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCancel cancels a job. Cancelling a queued job releases it
+// immediately; cancelling a running job interrupts its analysis (the
+// replay unblocks) and frees the worker slot. Terminal jobs are left
+// untouched and reported as-is, so cancellation is idempotent.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.err = errJobCancelled.Error()
+		j.finished = time.Now()
+		close(j.done)
+		s.m.outcomes.With("cancelled").Inc()
+	case StateRunning:
+		// finish() classifies the unwound analysis as cancelled via the
+		// context cause.
+	}
+	j.cancel(errJobCancelled)
+	st := j.statusLocked(time.Now())
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResult serves a finished job's cube report in the mscpcube
+// text format (parse it with internal/cube.Read or render it with
+// mtprint). Unfinished jobs answer 409; failed jobs answer with the
+// failure's classified status and a JSON error.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	state, errMsg, failStatus, res := j.state, j.err, j.failStatus, j.result
+	s.mu.Unlock()
+	switch {
+	case !state.terminal():
+		s.fail(w, http.StatusConflict, "job %s is %s; retry after it finishes", j.id, state)
+	case state == StateCancelled:
+		s.fail(w, http.StatusConflict, "job %s was cancelled", j.id)
+	case state == StateFailed:
+		s.fail(w, failStatus, "job %s failed: %s", j.id, errMsg)
+	default:
+		w.Header().Set("Content-Type", "text/x-mscpcube; charset=utf-8")
+		res.Report.Write(w)
+	}
+}
+
+// handleProfile serves a finished job's time-resolved wait-state
+// profile as JSON.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	state, res := j.state, j.result
+	s.mu.Unlock()
+	if state != StateDone {
+		s.fail(w, http.StatusConflict, "job %s is %s; the profile exists once it is done", j.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	res.Profile.WriteJSON(w)
+}
+
+// handleDiff serves the mtdiff-style comparison (cube algebra
+// difference b − a) of two finished jobs: GET /v1/diff?a=ID&b=ID.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	get := func(key string) (*replay.Result, bool) {
+		id := r.URL.Query().Get(key)
+		s.mu.Lock()
+		j := s.jobs[id]
+		s.mu.Unlock()
+		if j == nil {
+			s.fail(w, http.StatusNotFound, "parameter %q: no such job %q", key, id)
+			return nil, false
+		}
+		s.mu.Lock()
+		state, res := j.state, j.result
+		s.mu.Unlock()
+		if state != StateDone {
+			s.fail(w, http.StatusConflict, "parameter %q: job %s is %s", key, id, state)
+			return nil, false
+		}
+		return res, true
+	}
+	ra, ok := get("a")
+	if !ok {
+		return
+	}
+	rb, ok := get("b")
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/x-mscpcube; charset=utf-8")
+	cube.Diff(ra.Report, rb.Report).Write(w)
+}
+
+// handleMetrics exposes the recorder's registry in Prometheus text
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.rec.Reg.WritePrometheus(w)
+}
+
+// Health is the healthz JSON document.
+type Health struct {
+	Status        string        `json:"status"` // "ok" or "draining"
+	Workers       int           `json:"workers"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	CacheEntries  int           `json:"cache_entries"`
+	Jobs          map[State]int `json:"jobs"`
+}
+
+// handleHealthz reports liveness and the queue/job census; a draining
+// server answers 503 so load balancers stop routing to it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Workers:       s.opts.Workers,
+		QueueCapacity: s.opts.QueueDepth,
+		CacheEntries:  s.cache.Len(),
+		Jobs:          make(map[State]int),
+	}
+	s.mu.Lock()
+	h.QueueDepth = len(s.queue)
+	for _, j := range s.jobs {
+		h.Jobs[j.state]++
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	h.Status = "ok"
+	status := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// setCacheRatio refreshes the cache hit-ratio gauge.
+func (s *Server) setCacheRatio() {
+	hits := s.m.cacheHits.Value()
+	total := hits + s.m.cacheMisses.Value()
+	if total > 0 {
+		s.m.cacheRatio.Set(hits / total)
+	}
+}
+
+// serveMetrics is the pre-registered metric family set, so a snapshot
+// of an idle server already carries the full schema.
+type serveMetrics struct {
+	submitted *obs.Family // by submission source
+	rejected  *obs.Family // by rejection reason
+	outcomes  *obs.Family // by terminal outcome
+
+	queueDepth   *obs.Series
+	workersBusy  *obs.Series
+	jobSeconds   *obs.Series
+	waitSeconds  *obs.Series
+	cacheHits    *obs.Series
+	cacheMisses  *obs.Series
+	cacheEntries *obs.Series
+	cacheRatio   *obs.Series
+}
+
+func newServeMetrics(rec *obs.Recorder) *serveMetrics {
+	r := rec.Reg
+	return &serveMetrics{
+		submitted: r.Counter("metascope_serve_jobs_submitted_total",
+			"analysis jobs accepted, by submission source", "source"),
+		rejected: r.Counter("metascope_serve_rejected_total",
+			"submissions rejected before queueing, by reason", "reason"),
+		outcomes: r.Counter("metascope_serve_jobs_total",
+			"jobs reaching a terminal state, by outcome", "outcome"),
+		queueDepth: r.Gauge("metascope_serve_queue_depth",
+			"jobs waiting in the FIFO queue").With(),
+		workersBusy: r.Gauge("metascope_serve_workers_busy",
+			"pool workers currently running an analysis").With(),
+		jobSeconds: r.Histogram("metascope_serve_job_seconds",
+			"wall time of one analysis job (running only)", obs.SecondsBuckets).With(),
+		waitSeconds: r.Histogram("metascope_serve_wait_seconds",
+			"queue wait of one job (submission to start)", obs.SecondsBuckets).With(),
+		cacheHits: r.Counter("metascope_serve_cache_hits_total",
+			"submissions served from the result cache").With(),
+		cacheMisses: r.Counter("metascope_serve_cache_misses_total",
+			"submissions missing the result cache").With(),
+		cacheEntries: r.Gauge("metascope_serve_cache_entries",
+			"entries currently held by the result cache").With(),
+		cacheRatio: r.Gauge("metascope_serve_cache_hit_ratio",
+			"result-cache hits over lookups since start").With(),
+	}
+}

@@ -39,6 +39,13 @@ fi
 echo "== go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
 
+# A short soak of the analysis service: a couple of seconds of mixed
+# concurrent traffic (good archives, hostile uploads, cancellations)
+# with oracle-exact verification and a goroutine-leak check at the
+# end. `make soak` runs the minutes-long version of the same test.
+echo "== serve soak (short)"
+METASCOPE_SOAK_SECONDS=2 go test -race -count=1 -run 'TestServeSoak' ./internal/serve
+
 # One iteration of every benchmark: catches benchmarks that rot (fail
 # to compile or crash) without paying for a real measurement run.
 echo "== go test -bench . -benchtime=1x (smoke)"
