@@ -28,10 +28,10 @@ race:
 vet:
 	go vet ./...
 
-bench: ## replay + ingestion benchmarks; BENCH_replay.json plus delta vs the committed baseline
+bench: ## replay + ingestion + flight-recorder benchmarks; BENCH_replay.json plus delta vs the committed baseline
 	@if [ -f BENCH_replay.json ]; then cp BENCH_replay.json BENCH_replay.prev.json; fi
-	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkArchiveLoad|BenchmarkScalabilityAnalysis|BenchmarkServeThroughput' \
-		-benchmem -json . > BENCH_replay.json
+	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkArchiveLoad|BenchmarkScalabilityAnalysis|BenchmarkServeThroughput|BenchmarkFlight' \
+		-benchmem -json . ./internal/obs/flight > BENCH_replay.json
 	@if [ -f BENCH_replay.prev.json ]; then \
 		go run ./script/benchdelta -base BENCH_replay.prev.json BENCH_replay.json; \
 		rm -f BENCH_replay.prev.json; \

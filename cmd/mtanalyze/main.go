@@ -116,6 +116,7 @@ func run(cli *obs.CLIConfig, in, dir, schemeFlag, out, profileOut string, profil
 
 func main() {
 	cli := obs.RegisterCLIFlags("mtanalyze", flag.CommandLine, nil)
+	cli.FlightArchive = replay.WriteFlightArchive // -trace-out can dogfood the archive format
 	in := flag.String("in", "archive", "input directory (one subdirectory per metahost)")
 	dir := flag.String("archive", "", "experiment archive directory name, e.g. epik_metatrace (default: autodetect)")
 	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")

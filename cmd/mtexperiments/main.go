@@ -15,6 +15,7 @@ import (
 	"metascope/internal/experiments"
 	"metascope/internal/obs"
 	"metascope/internal/pattern"
+	"metascope/internal/replay"
 )
 
 func run(cli *obs.CLIConfig, seed int64, only string) error {
@@ -103,6 +104,7 @@ func run(cli *obs.CLIConfig, seed int64, only string) error {
 
 func main() {
 	cli := obs.RegisterCLIFlags("mtexperiments", flag.CommandLine, nil)
+	cli.FlightArchive = replay.WriteFlightArchive // -trace-out can dogfood the archive format
 	seed := flag.Int64("seed", 42, "simulation seed (same seed = same numbers)")
 	only := flag.String("only", "", "run a single experiment (table1, table2, fig1, fig3, fig6, fig7, topology, algebra)")
 	flag.Parse()

@@ -21,6 +21,7 @@ import (
 	"metascope/internal/archive"
 	"metascope/internal/measure"
 	"metascope/internal/obs"
+	"metascope/internal/replay"
 	"metascope/internal/topology"
 )
 
@@ -98,6 +99,7 @@ func run(cli *obs.CLIConfig, workload, config string, seed int64, out string, ro
 
 func main() {
 	cli := obs.RegisterCLIFlags("mtrun", flag.CommandLine, nil)
+	cli.FlightArchive = replay.WriteFlightArchive // -trace-out can dogfood the archive format
 	workload := flag.String("workload", "metatrace", "workload: metatrace | clockbench")
 	config := flag.String("config", "exp1", "placement: exp1 (VIOLA, 3 metahosts) | exp2 (IBM, 1 metahost)")
 	seed := flag.Int64("seed", 42, "simulation seed")

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"metascope/internal/obs"
+	"metascope/internal/replay"
 	"metascope/internal/serve"
 	"metascope/internal/vclock"
 )
@@ -78,6 +79,7 @@ func run(cli *obs.CLIConfig, opts serve.Options, addr string, drainTimeout time.
 
 func main() {
 	cli := obs.RegisterCLIFlags("mtserved", flag.CommandLine, nil)
+	cli.FlightArchive = replay.WriteFlightArchive // -trace-out can dogfood the archive format
 	addr := flag.String("addr", ":8921", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker pool width")
 	queue := flag.Int("queue", 64, "FIFO queue depth before submissions get 429")
@@ -87,6 +89,8 @@ func main() {
 	maxUpload := flag.Int64("max-upload", serve.DefaultMaxUploadBytes, "decompressed byte budget of one uploaded bundle")
 	schemeFlag := flag.String("scheme", "hier", "default time-stamp synchronization: flat1 | flat2 | hier")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM")
+	flightOn := flag.Bool("flight", false, "enable the flight recorder; per-job traces on GET /v1/jobs/{id}/trace")
+	flightEvents := flag.Int("flight-events", 0, "flight-recorder ring capacity per actor (0: default)")
 	flag.Parse()
 	cli.Start()
 
@@ -100,6 +104,8 @@ func main() {
 			Root:           *root,
 			MaxUploadBytes: *maxUpload,
 			Scheme:         scheme,
+			Flight:         *flightOn,
+			FlightEvents:   *flightEvents,
 		}, *addr, *drainTimeout)
 	}
 	if ferr := cli.Flush(); err == nil {

@@ -75,6 +75,7 @@ func run(cli *obs.CLIConfig, in, dir, schemeFlag, out string, counters bool) err
 
 func main() {
 	cli := obs.RegisterCLIFlags("mttimeline", flag.CommandLine, nil)
+	cli.FlightArchive = replay.WriteFlightArchive // -trace-out can dogfood the archive format
 	in := flag.String("in", "archive", "input directory (one subdirectory per metahost)")
 	dir := flag.String("archive", "", "experiment archive directory name (default: autodetect)")
 	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")

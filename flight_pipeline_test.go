@@ -1,0 +1,98 @@
+package metascope_test
+
+// The flight recorder's dogfood loop, end to end: measure a workload,
+// analyze it with the recorder on, export the recording as a metascope
+// trace archive, and analyze THAT with the same pipeline. The paper's
+// methodology applied to its own implementation — replay workers
+// become ranks, blocked mailbox takes become receives, and the Late
+// Sender pattern then quantifies how long the parallel replay's
+// receivers waited on slower senders.
+
+import (
+	"testing"
+
+	"metascope"
+	"metascope/internal/apps/clockbench"
+	"metascope/internal/archive"
+	"metascope/internal/measure"
+	"metascope/internal/obs"
+	"metascope/internal/pattern"
+	"metascope/internal/replay"
+	"metascope/internal/vclock"
+)
+
+func TestFlightSelfAnalysisRoundTrip(t *testing.T) {
+	// Stage 1: a real measured experiment (clockbench on the VIOLA
+	// placement) analyzed with the flight recorder on.
+	topo := metascope.VIOLA()
+	place := metascope.ViolaExperiment1Placement(topo)
+	e := metascope.NewExperiment("flight-dogfood", topo, place, 42)
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(func(m *measure.M) { clockbench.Body(m, clockbench.Quick()) }); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	rec.Flight.Enable(0)
+	res, err := e.AnalyzeConfig(replay.Config{Scheme: vclock.Hierarchical, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages == 0 {
+		t.Fatal("first analysis matched no messages; nothing to dogfood")
+	}
+	ranks := len(res.ReplayBytes)
+
+	st := rec.Flight.Stats()
+	if !st.Enabled || st.Events == 0 {
+		t.Fatalf("flight recorder captured nothing: %+v", st)
+	}
+
+	// Stage 2: export the recording as an experiment archive and mount
+	// it back through the standard autodetection path.
+	root := t.TempDir()
+	if err := replay.WriteFlightArchive(rec.Flight, root); err != nil {
+		t.Fatal(err)
+	}
+	mounts, metahosts, dir, err := archive.MountTree(root, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != "epik_flight" {
+		t.Fatalf("autodetected %q, want epik_flight", dir)
+	}
+
+	// Stage 3: the pipeline analyzes its own recording. AnalyzeArchive
+	// validates the cube report before returning, so a nil error is
+	// already a structural pass.
+	self, err := replay.AnalyzeArchive(mounts, metahosts, dir, replay.Config{
+		Scheme: vclock.FlatSingle, Title: "flight self-analysis",
+	})
+	if err != nil {
+		t.Fatalf("self-analysis failed: %v", err)
+	}
+	if got := len(self.ReplayBytes); got != ranks {
+		t.Fatalf("self-analysis sees %d ranks, want one per replay worker (%d)", got, ranks)
+	}
+	if self.Messages == 0 {
+		t.Fatal("self-analysis matched no messages: mailbox puts/takes did not export as sends/receives")
+	}
+
+	// The point of the exercise: replay receivers that sat blocked in a
+	// mailbox take must surface as Late Sender waiting time (the metric
+	// is inclusive, covering grid and wrong-order refinements). With
+	// 150 rounds of ping-pong per rank pair, at least one take blocking
+	// on its sender is a near-certainty; its wait must survive the
+	// round trip.
+	var late float64
+	for r := 0; r < ranks; r++ {
+		late += self.Report.RankMetricTotal(pattern.KeyLateSender, r)
+	}
+	if late <= 0 {
+		t.Fatalf("self-analysis reports zero Late Sender wait across %d workers (%d messages)",
+			ranks, self.Messages)
+	}
+	t.Logf("dogfood: %d workers, %d self-messages, %.6fs Late Sender wait inside metascope's own replay",
+		ranks, self.Messages, late)
+}

@@ -1,0 +1,34 @@
+package flight
+
+import "testing"
+
+// BenchmarkFlightDisabled is the CI-gated hot-path cost of an
+// instrumented-but-disabled recorder: the writer handle is nil (the
+// shape replay workers see), so one Emit is a single branch.
+// script/check.sh asserts 0 allocs/op.
+func BenchmarkFlightDisabled(b *testing.B) {
+	r := New()
+	name := r.Name("span")
+	w := r.Writer(0) // nil: the recorder is disabled
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Emit(SpanBegin, -1, name, int64(i), 0)
+		w.Emit(SpanEnd, -1, name, int64(i), 0)
+	}
+}
+
+// BenchmarkFlightEnabled measures the live recording path: monotonic
+// timestamp, shard lock, ring store. Still allocation-free.
+func BenchmarkFlightEnabled(b *testing.B) {
+	r := New()
+	r.Enable(DefaultRingEvents)
+	name := r.Name("span")
+	w := r.Writer(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Emit(SpanBegin, -1, name, int64(i), 0)
+		w.Emit(SpanEnd, -1, name, int64(i), 0)
+	}
+}

@@ -1,0 +1,124 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the Chrome exporter golden file")
+
+// goldenSnapshot is a hand-built recording covering every event class:
+// a replay worker span with a blocked take and a send, a collective
+// gather, service-level queue/cache/job-state events, and a post-pass
+// span. Times are fixed, so the export is byte-stable.
+func goldenSnapshot() *Snapshot {
+	names := []string{"replay-worker", "mailbox-take", "mailbox-put", "collective-gather", "post-pass", "job-state"}
+	id := func(s string) NameID {
+		for i, n := range names {
+			if n == s {
+				return NameID(i + 1)
+			}
+		}
+		panic("unknown name " + s)
+	}
+	mk := func(when int64, kind Kind, actor, job int32, name string, a, b int64) Event {
+		return Event{When: when, Kind: kind, Actor: actor, Job: job, Name: id(name), A: a, B: b}
+	}
+	return &Snapshot{
+		Names: names,
+		Events: []Event{
+			mk(1000, Enqueue, ServeActor, 1, "job-state", 0, 0),
+			mk(2000, Dequeue, ServeActor, 1, "job-state", 0, 0),
+			mk(2500, CacheMiss, ServeActor, 1, "job-state", 0, 0),
+			mk(3000, SpanBegin, 0, 1, "replay-worker", 0, 0),
+			mk(3100, SpanBegin, 1, 1, "replay-worker", 0, 0),
+			mk(3200, BlockBegin, 1, 1, "mailbox-take", 0, 77),
+			mk(4000, Send, 0, 1, "mailbox-put", 1, 77),
+			mk(4100, BlockEnd, 1, 1, "mailbox-take", 0, 77),
+			mk(4200, GatherBegin, 0, 1, "collective-gather", 0, 0),
+			mk(4300, GatherBegin, 1, 1, "collective-gather", 0, 0),
+			mk(4400, GatherEnd, 0, 1, "collective-gather", 0, 0),
+			mk(4400, GatherEnd, 1, 1, "collective-gather", 0, 0),
+			mk(5000, SpanEnd, 0, 1, "replay-worker", 0, 0),
+			mk(5000, SpanEnd, 1, 1, "replay-worker", 0, 0),
+			mk(5500, SpanBegin, PostPassActor, 1, "post-pass", 0, 0),
+			mk(5900, SpanEnd, PostPassActor, 1, "post-pass", 0, 0),
+			mk(6000, JobState, ServeActor, 1, "job-state", 0, 0),
+		},
+	}
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export deviates from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same snapshot differ")
+	}
+}
+
+// TestWriteChromeWellFormed checks the structural contract the viewer
+// needs: valid JSON, balanced B/E per (pid, tid), and counter tracks
+// that never go negative even when a wrapped ring lost a BlockBegin.
+func TestWriteChromeWellFormed(t *testing.T) {
+	snap := goldenSnapshot()
+	// Simulate a wrapped ring: drop the leading events so a BlockEnd
+	// arrives without its begin.
+	snap.Events = snap.Events[5:]
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	depth := make(map[[2]float64]int)
+	for _, r := range rows {
+		switch r["ph"].(string) {
+		case "B":
+			depth[[2]float64{r["pid"].(float64), r["tid"].(float64)}]++
+		case "E":
+			depth[[2]float64{r["pid"].(float64), r["tid"].(float64)}]--
+		case "C":
+			if v := r["args"].(map[string]interface{})["value"].(float64); v < 0 {
+				t.Fatalf("counter went negative: %v", r)
+			}
+		}
+	}
+	for key, d := range depth {
+		// Chopped recordings may leave unclosed spans, but never more
+		// closes than opens on any row.
+		if d < 0 {
+			t.Fatalf("row %v closes more durations than it opens", key)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package flight is metascope's in-process flight recorder: a
+// low-overhead, always-compiled-in event tracer the pipeline layers
+// write typed events into — span begin/end, mailbox block/wake,
+// collective gather waits, queue enqueue/dequeue, cache hits, job
+// state transitions — with monotonic timestamps and rank/job
+// attribution.
+//
+// The design goals mirror the paper's own measurement system: the
+// recorder must be cheap enough to leave in production paths. Writes
+// go through per-writer sharded bounded rings (one Writer per replay
+// worker / service actor), so the hot path takes only the owning
+// shard's lock — there is no global lock, no channel, and no
+// allocation per event. A disabled recorder costs two predictable
+// branches (a nil check and one atomic load) and zero allocations;
+// `BenchmarkFlightDisabled` gates this in CI. When a ring fills, the
+// oldest events are overwritten — flight-recorder semantics: memory
+// stays bounded and the most recent window survives.
+//
+// The package is dependency-free (stdlib only) on purpose: obs embeds
+// a flight recorder, and obs is imported from the bottom of the
+// dependency tree (vclock), so flight can never import trace, replay,
+// or serve. The exporters that need those layers live next to them —
+// the trace-archive dogfood exporter is internal/replay's
+// WriteFlightArchive.
+package flight
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates flight event records.
+type Kind uint8
+
+// Event kinds. SpanBegin/SpanEnd bracket a named activity;
+// BlockBegin/BlockEnd bracket a blocking wait (a mailbox take, with
+// the matched sender in A and the matching signature in B); Send
+// marks a non-blocking handoff to another actor (destination in A,
+// signature in B); GatherBegin/GatherEnd bracket a collective-gather
+// wait (communicator in A, sequence number in B); Enqueue/Dequeue,
+// CacheHit/CacheMiss, and JobState record service-level job flow, and
+// Mark is a free-form instant.
+const (
+	SpanBegin Kind = iota + 1
+	SpanEnd
+	BlockBegin
+	BlockEnd
+	Send
+	GatherBegin
+	GatherEnd
+	Enqueue
+	Dequeue
+	CacheHit
+	CacheMiss
+	JobState
+	Mark
+)
+
+// String names the kind for exports and debugging.
+func (k Kind) String() string {
+	switch k {
+	case SpanBegin:
+		return "span-begin"
+	case SpanEnd:
+		return "span-end"
+	case BlockBegin:
+		return "block-begin"
+	case BlockEnd:
+		return "block-end"
+	case Send:
+		return "send"
+	case GatherBegin:
+		return "gather-begin"
+	case GatherEnd:
+		return "gather-end"
+	case Enqueue:
+		return "enqueue"
+	case Dequeue:
+		return "dequeue"
+	case CacheHit:
+		return "cache-hit"
+	case CacheMiss:
+		return "cache-miss"
+	case JobState:
+		return "job-state"
+	case Mark:
+		return "mark"
+	default:
+		return "unknown"
+	}
+}
+
+// NameID indexes the recorder's interned name table. Names are
+// registered once (outside the hot path) and referenced by id from
+// every event, keeping event emission allocation-free.
+type NameID uint32
+
+// Event is one flight record: what happened (Kind, Name), when (When,
+// nanoseconds since the recorder's epoch on the monotonic clock), who
+// (Actor — a replay rank, or a negative id for service actors; Job —
+// the serve job serial, -1 outside job context), and two kind-specific
+// arguments A and B.
+type Event struct {
+	When  int64
+	A     int64
+	B     int64
+	Name  NameID
+	Actor int32
+	Job   int32
+	Kind  Kind
+}
+
+// DefaultRingEvents is the per-writer ring capacity Enable(0) selects:
+// large enough to hold a full clockbench replay per rank, small enough
+// (~200 KiB per writer) that a wide analysis stays in tens of MiB.
+const DefaultRingEvents = 4096
+
+// Recorder owns the name table and the set of per-actor writers. The
+// zero value is not usable; construct with New. A nil *Recorder is a
+// valid, permanently-disabled recorder: every method no-ops.
+type Recorder struct {
+	on    atomic.Bool
+	epoch time.Time
+
+	mu      sync.Mutex
+	ringCap int
+	writers map[int32]*Writer
+	nameIDs map[string]NameID
+	names   []string
+}
+
+// New creates a disabled recorder. Names can be registered and Writer
+// handles requested at any time; events are only retained while the
+// recorder is enabled.
+func New() *Recorder {
+	return &Recorder{
+		epoch:   time.Now(),
+		ringCap: DefaultRingEvents,
+		writers: make(map[int32]*Writer),
+		nameIDs: make(map[string]NameID),
+	}
+}
+
+// Enable starts retaining events, with per-writer rings of the given
+// capacity (0 selects DefaultRingEvents). Enabling an already-enabled
+// recorder only adjusts the capacity of writers created afterwards.
+func (r *Recorder) Enable(ringEvents int) {
+	if r == nil {
+		return
+	}
+	if ringEvents <= 0 {
+		ringEvents = DefaultRingEvents
+	}
+	r.mu.Lock()
+	r.ringCap = ringEvents
+	r.mu.Unlock()
+	r.on.Store(true)
+}
+
+// Disable stops event retention. Already-recorded events stay
+// available to Snapshot until Reset.
+func (r *Recorder) Disable() {
+	if r == nil {
+		return
+	}
+	r.on.Store(false)
+}
+
+// Enabled reports whether events are currently retained. Nil-safe.
+func (r *Recorder) Enabled() bool { return r != nil && r.on.Load() }
+
+// Name interns a string into the recorder's name table and returns
+// its id. Registration takes the recorder lock — call it during
+// setup, not per event. Nil-safe (returns 0).
+func (r *Recorder) Name(s string) NameID {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.nameIDs[s]; ok {
+		return id
+	}
+	id := NameID(len(r.names) + 1) // 0 stays "unnamed"
+	r.nameIDs[s] = id
+	r.names = append(r.names, s)
+	return id
+}
+
+// Writer returns the shard handle for one actor, creating it on first
+// use; repeated calls for the same actor return the same handle, so
+// total ring memory is bounded by the number of distinct actors. On a
+// nil or disabled recorder it returns nil, which is itself a valid
+// no-op Writer — instrumented code holds one pointer and never
+// branches on recorder state again.
+func (r *Recorder) Writer(actor int32) *Writer {
+	if r == nil || !r.on.Load() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.writers[actor]
+	if !ok {
+		w = &Writer{rec: r, actor: actor, buf: make([]Event, r.ringCap)}
+		r.writers[actor] = w
+	}
+	return w
+}
+
+// Reset drops every writer and recorded event, keeping the name table
+// and the enabled state.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.writers = make(map[int32]*Writer)
+	r.mu.Unlock()
+}
+
+// Emit records a process-level event (no natural actor) under actor
+// -128, the recorder's own shard. Nil-safe; no-op while disabled.
+func (r *Recorder) Emit(kind Kind, job int32, name NameID, a, b int64) {
+	r.Writer(ProcessActor).Emit(kind, job, name, a, b)
+}
+
+// ProcessActor is the actor id of events emitted through
+// Recorder.Emit — process-wide happenings with no rank or service
+// actor of their own.
+const ProcessActor int32 = -128
+
+// Stats is a point-in-time census of the recorder, served on
+// /debug/obs and /healthz.
+type Stats struct {
+	Enabled      bool   `json:"enabled"`
+	Writers      int    `json:"writers"`
+	Events       int    `json:"events"`
+	Dropped      uint64 `json:"dropped"`
+	RingCapacity int    `json:"ring_capacity"`
+}
+
+// Stats reports the recorder census. Nil-safe.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	st := Stats{Enabled: r.on.Load()}
+	r.mu.Lock()
+	st.RingCapacity = r.ringCap
+	st.Writers = len(r.writers)
+	writers := make([]*Writer, 0, len(r.writers))
+	for _, w := range r.writers {
+		writers = append(writers, w)
+	}
+	r.mu.Unlock()
+	for _, w := range writers {
+		n, d := w.count()
+		st.Events += n
+		st.Dropped += d
+	}
+	return st
+}
+
+// Snapshot is a consistent copy of the recorder's state: every
+// retained event merged across shards in (When, Actor, Kind) order,
+// plus the name table needed to resolve NameIDs.
+type Snapshot struct {
+	Events  []Event
+	Names   []string // index 1-based: Names[id-1]
+	Dropped uint64
+}
+
+// Name resolves a NameID against the snapshot's table.
+func (s *Snapshot) Name(id NameID) string {
+	if id == 0 || int(id) > len(s.Names) {
+		return "?"
+	}
+	return s.Names[id-1]
+}
+
+// FilterJob returns a snapshot holding only events of the given job
+// (sharing the name table).
+func (s *Snapshot) FilterJob(job int32) *Snapshot {
+	out := &Snapshot{Names: s.Names, Dropped: s.Dropped}
+	for _, e := range s.Events {
+		if e.Job == job {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// Snapshot copies and merges every shard. Writers keep recording while
+// the snapshot is taken (each ring is locked only for its own copy);
+// the merge order is deterministic for a fixed event set. Nil-safe
+// (returns an empty snapshot).
+func (r *Recorder) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	snap.Names = append([]string(nil), r.names...)
+	writers := make([]*Writer, 0, len(r.writers))
+	for _, w := range r.writers {
+		writers = append(writers, w)
+	}
+	r.mu.Unlock()
+	sort.Slice(writers, func(i, j int) bool { return writers[i].actor < writers[j].actor })
+	for _, w := range writers {
+		d := w.appendTo(&snap.Events)
+		snap.Dropped += d
+	}
+	sort.SliceStable(snap.Events, func(i, j int) bool {
+		a, b := &snap.Events[i], &snap.Events[j]
+		if a.When != b.When {
+			return a.When < b.When
+		}
+		if a.Actor != b.Actor {
+			return a.Actor < b.Actor
+		}
+		return a.Kind < b.Kind
+	})
+	return snap
+}
+
+// Writer is one actor's shard: a mutex-guarded bounded ring of
+// events. The mutex is shard-local, so concurrent actors never
+// contend; it exists because snapshots and (in the service) two jobs
+// reusing one rank's shard may interleave with the owner. A nil
+// *Writer is a valid no-op writer.
+type Writer struct {
+	rec   *Recorder
+	actor int32
+
+	mu      sync.Mutex
+	buf     []Event // fixed-capacity ring
+	next    int     // index the next event lands in
+	full    bool    // the ring has wrapped at least once
+	dropped uint64  // events overwritten after wrapping
+}
+
+// Emit appends one event to the shard, overwriting the oldest event
+// once the ring is full. Allocation-free; a nil writer or a disabled
+// recorder is a no-op.
+func (w *Writer) Emit(kind Kind, job int32, name NameID, a, b int64) {
+	if w == nil || !w.rec.on.Load() {
+		return
+	}
+	when := int64(time.Since(w.rec.epoch))
+	w.mu.Lock()
+	if w.full {
+		w.dropped++ // the slot being reused still held a live event
+	}
+	w.buf[w.next] = Event{When: when, A: a, B: b, Name: name, Actor: w.actor, Job: job, Kind: kind}
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+	w.mu.Unlock()
+}
+
+// count returns the live event and drop counts.
+func (w *Writer) count() (int, uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.full {
+		return len(w.buf), w.dropped
+	}
+	return w.next, w.dropped
+}
+
+// appendTo copies the ring's live events, oldest first, onto dst and
+// returns the shard's drop count.
+func (w *Writer) appendTo(dst *[]Event) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.full {
+		*dst = append(*dst, w.buf[w.next:]...)
+		*dst = append(*dst, w.buf[:w.next]...)
+	} else {
+		*dst = append(*dst, w.buf[:w.next]...)
+	}
+	return w.dropped
+}

@@ -1,0 +1,192 @@
+package flight
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDisabledRecorderIsInert(t *testing.T) {
+	r := New()
+	if r.Enabled() {
+		t.Fatal("new recorder must start disabled")
+	}
+	if w := r.Writer(3); w != nil {
+		t.Fatal("disabled recorder handed out a writer")
+	}
+	// The nil writer and the nil recorder are both valid no-ops.
+	var w *Writer
+	w.Emit(SpanBegin, 0, 0, 0, 0)
+	var nilRec *Recorder
+	nilRec.Emit(Mark, -1, 0, 0, 0)
+	nilRec.Enable(0)
+	nilRec.Disable()
+	if nilRec.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if st := nilRec.Stats(); st.Enabled || st.Events != 0 {
+		t.Fatalf("nil recorder stats = %+v", st)
+	}
+	if snap := nilRec.Snapshot(); len(snap.Events) != 0 {
+		t.Fatalf("nil recorder snapshot holds %d events", len(snap.Events))
+	}
+	r.Emit(Mark, -1, r.Name("noop"), 0, 0)
+	if snap := r.Snapshot(); len(snap.Events) != 0 {
+		t.Fatalf("disabled recorder retained %d events", len(snap.Events))
+	}
+}
+
+func TestEmitSnapshotRoundTrip(t *testing.T) {
+	r := New()
+	r.Enable(16)
+	take := r.Name("mailbox-take")
+	w0 := r.Writer(0)
+	w1 := r.Writer(1)
+	w0.Emit(SpanBegin, 7, r.Name("worker"), 0, 0)
+	w1.Emit(BlockBegin, 7, take, 0, 42)
+	w1.Emit(BlockEnd, 7, take, 0, 42)
+	w0.Emit(SpanEnd, 7, 0, 0, 0)
+	if again := r.Writer(0); again != w0 {
+		t.Fatal("Writer(0) did not return the same shard handle")
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Events) != 4 {
+		t.Fatalf("snapshot holds %d events, want 4", len(snap.Events))
+	}
+	for i := 1; i < len(snap.Events); i++ {
+		if snap.Events[i].When < snap.Events[i-1].When {
+			t.Fatalf("snapshot not time-sorted at %d", i)
+		}
+	}
+	if got := snap.Name(take); got != "mailbox-take" {
+		t.Fatalf("Name(take) = %q", got)
+	}
+	if got := snap.Name(0); got != "?" {
+		t.Fatalf("Name(0) = %q, want ?", got)
+	}
+	if r.Name("mailbox-take") != take {
+		t.Fatal("re-registering a name changed its id")
+	}
+
+	only7 := snap.FilterJob(7)
+	if len(only7.Events) != 4 {
+		t.Fatalf("FilterJob(7) kept %d events", len(only7.Events))
+	}
+	if len(snap.FilterJob(8).Events) != 0 {
+		t.Fatal("FilterJob(8) kept foreign events")
+	}
+
+	st := r.Stats()
+	if !st.Enabled || st.Writers != 2 || st.Events != 4 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	r.Reset()
+	if len(r.Snapshot().Events) != 0 {
+		t.Fatal("Reset left events behind")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := New()
+	r.Enable(4)
+	w := r.Writer(0)
+	for i := 0; i < 10; i++ {
+		w.Emit(Mark, -1, 0, int64(i), 0)
+	}
+	snap := r.Snapshot()
+	if len(snap.Events) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(snap.Events))
+	}
+	// Flight-recorder semantics: the newest window survives.
+	for i, e := range snap.Events {
+		if want := int64(6 + i); e.A != want {
+			t.Fatalf("event %d: A = %d, want %d", i, e.A, want)
+		}
+	}
+	if snap.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", snap.Dropped)
+	}
+}
+
+// TestConcurrentShardedWrites drives many actors (and snapshots taken
+// mid-flight) under -race: the per-shard locking must keep every path
+// data-race-free without a global lock.
+func TestConcurrentShardedWrites(t *testing.T) {
+	r := New()
+	r.Enable(256)
+	name := r.Name("span")
+	const actors, events = 8, 500
+	var wg sync.WaitGroup
+	for a := 0; a < actors; a++ {
+		wg.Add(1)
+		go func(a int32) {
+			defer wg.Done()
+			w := r.Writer(a)
+			for i := 0; i < events; i++ {
+				w.Emit(SpanBegin, a, name, int64(i), 0)
+				w.Emit(SpanEnd, a, name, int64(i), 0)
+			}
+		}(int32(a))
+	}
+	// Concurrent readers: snapshots and stats while writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+			r.Stats()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	snap := r.Snapshot()
+	if want := actors * 256; len(snap.Events) != want {
+		t.Fatalf("final snapshot holds %d events, want %d (full rings)", len(snap.Events), want)
+	}
+	perActor := make(map[int32]int)
+	for _, e := range snap.Events {
+		perActor[e.Actor]++
+	}
+	for a, n := range perActor {
+		if n != 256 {
+			t.Fatalf("actor %d holds %d events, want 256", a, n)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := SpanBegin; k <= Mark; k++ {
+		if s := k.String(); s == "unknown" || s == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must stringify as unknown")
+	}
+}
+
+func TestActorNames(t *testing.T) {
+	cases := map[int32]string{0: "rank 0", 5: "rank 5", PostPassActor: "post-pass",
+		ServeActor: "serve", ProcessActor: "process", -9: "actor -9"}
+	for actor, want := range cases {
+		if got := actorName(actor); got != want {
+			t.Fatalf("actorName(%d) = %q, want %q", actor, got, want)
+		}
+	}
+}
+
+func TestProcessEmit(t *testing.T) {
+	r := New()
+	r.Enable(8)
+	r.Emit(CacheHit, 3, r.Name("cache"), 0, 0)
+	snap := r.Snapshot()
+	if len(snap.Events) != 1 || snap.Events[0].Actor != ProcessActor || snap.Events[0].Job != 3 {
+		t.Fatalf("process emit recorded %+v", snap.Events)
+	}
+	if !strings.Contains(actorName(snap.Events[0].Actor), "process") {
+		t.Fatal("process actor not named")
+	}
+}

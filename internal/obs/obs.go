@@ -20,22 +20,66 @@
 // isolate their own recorders.
 package obs
 
-// Recorder bundles the three observability facilities for one run (or
-// for the whole process, in the case of Default).
+import (
+	"sync"
+	"time"
+
+	"metascope/internal/obs/flight"
+)
+
+// Recorder bundles the observability facilities for one run (or for
+// the whole process, in the case of Default).
 type Recorder struct {
 	Reg    *Registry
 	Phases *Phases
 	Log    *Logger
+	// Flight is the event-granular flight recorder (always non-nil,
+	// created disabled; Flight.Enable turns retention on). Aggregates
+	// go to Reg, timelines go here.
+	Flight *flight.Recorder
+
+	mu       sync.Mutex
+	samplers []*RuntimeSampler
 }
 
 // NewRecorder creates an isolated recorder with an empty registry,
-// empty phase tree, and an Info-level logger writing to stderr.
+// empty phase tree, a disabled flight recorder, and an Info-level
+// logger writing to stderr.
 func NewRecorder() *Recorder {
 	return &Recorder{
 		Reg:    NewRegistry(),
 		Phases: NewPhases(),
 		Log:    NewLogger(nil),
+		Flight: flight.New(),
 	}
+}
+
+// StartRuntimeSampler starts a runtime-metrics sampler on the
+// recorder's registry and adopts it, so Close stops its goroutine.
+// Prefer this over the package-level StartRuntimeSampler for any
+// sampler tied to a recorder's lifetime.
+func (r *Recorder) StartRuntimeSampler(interval time.Duration) *RuntimeSampler {
+	s := StartRuntimeSampler(r.Reg, interval)
+	r.mu.Lock()
+	r.samplers = append(r.samplers, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Close releases the recorder's background resources: every adopted
+// runtime sampler is stopped (its goroutine exits before Close
+// returns) and the flight recorder stops retaining events. Metrics,
+// phases, recorded flight events, and the logger stay readable; Close
+// is idempotent.
+func (r *Recorder) Close() {
+	r.mu.Lock()
+	samplers := r.samplers
+	r.samplers = nil
+	r.mu.Unlock()
+	for _, s := range samplers {
+		s.Stop()
+	}
+	r.Flight.Disable()
 }
 
 // Default is the process-wide recorder used by the package-level

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -38,4 +39,44 @@ func TestRuntimeSamplerRegistersGauges(t *testing.T) {
 func TestRuntimeSamplerNilStop(t *testing.T) {
 	var s *RuntimeSampler
 	s.Stop() // must not panic
+}
+
+// TestRecorderCloseStopsSampler is the sampler-shutdown leak check
+// (the analogue of the replay package's goroutine-leak tests): a
+// sampler started through the recorder must not outlive Close.
+func TestRecorderCloseStopsSampler(t *testing.T) {
+	before := runtime.NumGoroutine()
+	rec := NewRecorder()
+	for i := 0; i < 3; i++ {
+		rec.StartRuntimeSampler(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if running := runtime.NumGoroutine(); running < before+3 {
+		t.Fatalf("samplers not running: %d goroutines, had %d before", running, before)
+	}
+	rec.Close()
+	rec.Close() // idempotent
+	// Stop() waits on the sampler's done channel, so the goroutines are
+	// gone when Close returns; poll briefly anyway to absorb unrelated
+	// runtime goroutines winding down.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler goroutines leaked after Close: %d goroutines, had %d before",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A sampler stopped directly and then again via Close must not
+// double-close or hang.
+func TestRecorderCloseAfterManualStop(t *testing.T) {
+	rec := NewRecorder()
+	s := rec.StartRuntimeSampler(time.Millisecond)
+	s.Stop()
+	rec.Close()
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"metascope/internal/cube"
+	"metascope/internal/obs/flight"
 	"metascope/internal/pattern"
 	"metascope/internal/profile"
 	"metascope/internal/trace"
@@ -70,6 +71,10 @@ func (a *analyzer) result() (*Result, error) {
 	// classification is also when the late-sender family's profile
 	// series are fed: only here is the pattern identity of an instance
 	// known.
+	if pw := a.fl.Writer(flight.PostPassActor); pw != nil {
+		pw.Emit(flight.SpanBegin, a.flJob, a.fn.postpass, 0, 0)
+		defer pw.Emit(flight.SpanEnd, a.flJob, a.fn.postpass, 0, 0)
+	}
 	for _, rr := range a.results {
 		myMH := a.traces[rr.rank].Loc.Metahost
 		n := len(rr.recvLog)

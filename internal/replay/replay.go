@@ -66,8 +66,15 @@ type Config struct {
 	RepairMu float64
 	// Obs selects the observability recorder the analysis reports its
 	// own runtime behavior into (phase spans, replay-traffic
-	// histograms, progress gauges); nil selects obs.Default.
+	// histograms, progress gauges, and — when its flight recorder is
+	// enabled — event-granular worker timelines); nil selects
+	// obs.Default.
 	Obs *obs.Recorder
+	// FlightJob attributes this analysis's flight events to a service
+	// job serial (internal/serve sets it so GET /v1/jobs/{id}/trace can
+	// filter one job out of a shared recorder). Zero or negative means
+	// "no job": events carry job id -1.
+	FlightJob int32
 	// ProfileBuckets is the fixed bucket count of the time-resolved
 	// severity profile (0 selects profile.DefaultBuckets).
 	ProfileBuckets int

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"metascope/internal/obs"
+	"metascope/internal/obs/flight"
 	"metascope/internal/pattern"
 	"metascope/internal/profile"
 	"metascope/internal/trace"
@@ -299,6 +300,14 @@ type analyzer struct {
 	// metrics is the pre-registered replay metric set; worker progress
 	// gauges are updated live while the replay runs.
 	metrics *replayMetrics
+	// fl is the flight recorder replay workers write their event-level
+	// timeline into (blocked takes, puts, gather waits); flJob is the
+	// job id the events carry and fn the pre-registered event names.
+	// When the recorder is disabled every worker's writer is nil and
+	// each instrumentation point costs one branch.
+	fl    *flight.Recorder
+	flJob int32
+	fn    flightNames
 	// profCfg shapes the per-rank profile accumulators (shared interval
 	// axis derived from the corrected run span).
 	profCfg profile.Config
@@ -325,6 +334,14 @@ func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int3
 		results:   make([]*rankResult, len(traces)),
 		corrs:     corr,
 		abortCh:   make(chan struct{}),
+	}
+	a.fl = obs.OrDefault(cfg.Obs).Flight
+	a.flJob = cfg.FlightJob
+	if a.flJob <= 0 {
+		a.flJob = -1
+	}
+	if a.fl.Enabled() {
+		a.fn = newFlightNames(a.fl)
 	}
 	for _, c := range corr {
 		a.corr[c.Rank] = c.Map
@@ -469,6 +486,15 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 	}
 	rr.recvLog = make([]recvInfo, 0, nrecv)
 
+	// Flight recording: one shard per rank (nil while the recorder is
+	// disabled — every emit below then costs a single branch). The
+	// whole sweep is one span; takes, puts, and gathers nest inside.
+	fw := a.fl.Writer(int32(rank))
+	if fw != nil {
+		fw.Emit(flight.SpanBegin, a.flJob, a.fn.worker, 0, 0)
+		defer fw.Emit(flight.SpanEnd, a.flJob, a.fn.worker, 0, 0)
+	}
+
 	// delta is the forward timestamp-repair shift (controlled logical
 	// clock): non-decreasing, applied to every event from the moment a
 	// violation was repaired.
@@ -547,6 +573,9 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 				volKey = profile.KeyBytesWide
 			}
 			rr.prof.AddPoint(profile.Key{Metric: volKey, Metahost: myMH, Rank: rank}, ct, float64(ev.Bytes))
+			if fw != nil {
+				fw.Emit(flight.Send, a.flJob, a.fn.put, int64(dst), flightSig(ev.Comm, ev.Tag))
+			}
 			a.mailboxes[dst].put(sendRecord{
 				comm:        ev.Comm,
 				srcWorld:    int32(rank),
@@ -572,7 +601,13 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 				return rr
 			}
 			srcWorld := def[ev.Peer]
+			if fw != nil {
+				fw.Emit(flight.BlockBegin, a.flJob, a.fn.take, int64(srcWorld), flightSig(ev.Comm, ev.Tag))
+			}
 			rec, ok := a.mailboxes[rank].take(ev.Comm, srcWorld, ev.Tag)
+			if fw != nil {
+				fw.Emit(flight.BlockEnd, a.flJob, a.fn.take, int64(srcWorld), flightSig(ev.Comm, ev.Tag))
+			}
 			if !ok {
 				rr.err = a.cancelErr(rank)
 				return rr
@@ -641,7 +676,13 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 			rr.acc[top.cp].bytesSent += float64(ev.Bytes)
 			seq := collSeq[ev.Comm]
 			collSeq[ev.Comm] = seq + 1
+			if fw != nil {
+				fw.Emit(flight.GatherBegin, a.flJob, a.fn.gather, int64(ev.Comm), int64(seq))
+			}
 			g := a.gatherColl(ev.Comm, seq, len(def), commRank, top.enter, ct, myMH)
+			if fw != nil {
+				fw.Emit(flight.GatherEnd, a.flJob, a.fn.gather, int64(ev.Comm), int64(seq))
+			}
 			if g == nil {
 				rr.err = a.cancelErr(rank)
 				return rr

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"metascope/internal/archive"
+	"metascope/internal/obs/flight"
 	"metascope/internal/replay"
 	"metascope/internal/vclock"
 )
@@ -43,6 +44,7 @@ var (
 // terminal state, so waiters never poll.
 type job struct {
 	id        string
+	serial    int32  // numeric id; the job's flight-recorder attribution
 	source    string // "upload" or "path"
 	digest    string
 	cacheKey  string
@@ -139,7 +141,10 @@ func (s *Server) runOne(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	s.m.waitSeconds.Observe(j.started.Sub(j.submitted).Seconds())
+	qlen := len(s.queue)
 	s.mu.Unlock()
+	s.fw.Emit(flight.Dequeue, j.serial, s.fn.queue, int64(qlen), 0)
+	s.emitJobState(j.serial, StateRunning)
 
 	s.m.workersBusy.Add(1)
 	defer s.m.workersBusy.Add(-1)
@@ -170,9 +175,10 @@ func (s *Server) execute(ctx context.Context, j *job) (res *replay.Result, err e
 // → profile pipeline under the job's context.
 func (s *Server) analyze(ctx context.Context, j *job) (*replay.Result, error) {
 	return replay.AnalyzeArchiveContext(ctx, j.mounts, j.metahosts, j.dir, replay.Config{
-		Scheme: j.scheme,
-		Title:  fmt.Sprintf("%s (%v)", j.dir, j.scheme),
-		Obs:    s.rec,
+		Scheme:    j.scheme,
+		Title:     fmt.Sprintf("%s (%v)", j.dir, j.scheme),
+		Obs:       s.rec,
+		FlightJob: j.serial,
 	})
 }
 
@@ -183,6 +189,14 @@ func (s *Server) finish(j *job, res *replay.Result, err error) {
 	s.mu.Lock()
 	j.finished = time.Now()
 	dur := j.finished.Sub(j.started).Seconds()
+	// Feed the Retry-After estimator: a light exponential smoothing so
+	// one outlier job does not dominate the queue-drain estimate.
+	const ewmaAlpha = 0.3
+	if s.ewmaSec == 0 {
+		s.ewmaSec = dur
+	} else {
+		s.ewmaSec = ewmaAlpha*dur + (1-ewmaAlpha)*s.ewmaSec
+	}
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -209,6 +223,7 @@ func (s *Server) finish(j *job, res *replay.Result, err error) {
 	}
 	close(j.done)
 	s.mu.Unlock()
+	s.emitJobState(j.serial, j.state)
 
 	if j.state == StateDone && j.cacheKey != "" {
 		s.cache.Put(j.cacheKey, res)

@@ -43,6 +43,7 @@ import (
 	"metascope/internal/archive"
 	"metascope/internal/cube"
 	"metascope/internal/obs"
+	"metascope/internal/obs/flight"
 	"metascope/internal/replay"
 	"metascope/internal/vclock"
 )
@@ -79,6 +80,14 @@ type Options struct {
 	// Obs receives the service's own telemetry (nil selects
 	// obs.Default).
 	Obs *obs.Recorder
+	// Flight enables the in-process flight recorder at startup, so
+	// every job's pipeline is traced and GET /v1/jobs/{id}/trace works
+	// without a prior CLI -trace-out. The recorder also records when it
+	// was enabled externally (e.g. by obs.CLIConfig).
+	Flight bool
+	// FlightEvents is the per-actor ring capacity when Flight is set
+	// (0 selects flight.DefaultRingEvents).
+	FlightEvents int
 }
 
 // Server is the analysis service. Create it with New; it is ready to
@@ -89,6 +98,12 @@ type Server struct {
 	m     *serveMetrics
 	cache *LRU
 	mux   *http.ServeMux
+	start time.Time
+
+	// fw is the service's flight shard (nil while the recorder is
+	// disabled); fn holds the interned event names.
+	fw *flight.Writer
+	fn serveFlightNames
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -131,8 +146,16 @@ func New(opts Options) *Server {
 		cache: NewLRU(opts.CacheEntries),
 		jobs:  make(map[string]*job),
 		queue: make(chan *job, opts.QueueDepth),
+		start: time.Now(),
 	}
 	s.m = newServeMetrics(s.rec)
+	if opts.Flight {
+		s.rec.Flight.Enable(opts.FlightEvents)
+	}
+	// The shard handle is nil when the recorder stayed disabled, which
+	// makes every emit below a no-op branch.
+	s.fw = s.rec.Flight.Writer(flight.ServeActor)
+	s.fn = newServeFlightNames(s.rec.Flight)
 	s.runJob = s.analyze
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -141,9 +164,11 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/diff", s.handleDiff)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/obs", s.handleDebugObs)
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -319,6 +344,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, j *job) {
 	}
 	s.nextID++
 	j.id = "job-" + strconv.FormatInt(s.nextID, 10)
+	j.serial = int32(s.nextID)
 	if hit {
 		j.state = StateDone
 		j.cached = true
@@ -329,6 +355,8 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, j *job) {
 		s.order = append(s.order, j.id)
 		st := j.statusLocked(time.Now())
 		s.mu.Unlock()
+		s.fw.Emit(flight.CacheHit, j.serial, s.fn.cache, 0, 0)
+		s.emitJobState(j.serial, StateDone)
 		s.m.submitted.With(j.source).Inc()
 		s.m.outcomes.With("cache").Inc()
 		w.Header().Set("Location", "/v1/jobs/"+j.id)
@@ -340,9 +368,13 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, j *job) {
 		j.state = StateQueued
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
-		s.m.queueDepth.Set(float64(len(s.queue)))
+		qlen := len(s.queue)
+		s.m.queueDepth.Set(float64(qlen))
 		st := j.statusLocked(time.Now())
 		s.mu.Unlock()
+		s.fw.Emit(flight.CacheMiss, j.serial, s.fn.cache, 0, 0)
+		s.fw.Emit(flight.Enqueue, j.serial, s.fn.queue, int64(qlen), 0)
+		s.emitJobState(j.serial, StateQueued)
 		s.m.submitted.With(j.source).Inc()
 		w.Header().Set("Location", "/v1/jobs/"+j.id)
 		writeJSON(w, http.StatusAccepted, st)
@@ -530,10 +562,39 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics exposes the recorder's registry in Prometheus text
-// format.
+// format 0.0.4. The version parameter is the whole content type: the
+// format predates the charset parameter, and strict scrapers reject
+// extra parameters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.rec.Reg.WritePrometheus(w)
+}
+
+// handleTrace serves one job's flight recording as Chrome trace JSON
+// (load it in Perfetto / chrome://tracing): the job's replay-worker
+// lanes plus the service actor's queue and cache events.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if !s.rec.Flight.Enabled() {
+		s.fail(w, http.StatusConflict,
+			"flight recorder is disabled; start the server with flight recording on")
+		return
+	}
+	s.mu.Lock()
+	serial := j.serial
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	flight.WriteChrome(w, s.rec.Flight.Snapshot().FilterJob(serial))
+}
+
+// handleDebugObs serves the recorder's debug snapshot: phase spans,
+// metric families, and the flight-recorder census.
+func (s *Server) handleDebugObs(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteDebugJSON(w, s.rec)
 }
 
 // Health is the healthz JSON document.
@@ -544,22 +605,42 @@ type Health struct {
 	QueueCapacity int           `json:"queue_capacity"`
 	CacheEntries  int           `json:"cache_entries"`
 	Jobs          map[State]int `json:"jobs"`
+
+	// Process vitals, so a bare healthz poll doubles as a first-line
+	// capacity check without scraping /metrics.
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	// EWMAJobSeconds is the smoothed per-job wall time feeding
+	// Retry-After estimates (0 until a job finishes).
+	EWMAJobSeconds float64 `json:"ewma_job_seconds"`
+	// Flight is the flight-recorder census (enabled, writers, events,
+	// drops).
+	Flight flight.Stats `json:"flight"`
 }
 
-// handleHealthz reports liveness and the queue/job census; a draining
-// server answers 503 so load balancers stop routing to it.
+// handleHealthz reports liveness, the queue/job census, and process
+// vitals; a draining server answers 503 so load balancers stop routing
+// to it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	h := Health{
-		Workers:       s.opts.Workers,
-		QueueCapacity: s.opts.QueueDepth,
-		CacheEntries:  s.cache.Len(),
-		Jobs:          make(map[State]int),
+		Workers:        s.opts.Workers,
+		QueueCapacity:  s.opts.QueueDepth,
+		CacheEntries:   s.cache.Len(),
+		Jobs:           make(map[State]int),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		Flight:         s.rec.Flight.Stats(),
 	}
 	s.mu.Lock()
 	h.QueueDepth = len(s.queue)
 	for _, j := range s.jobs {
 		h.Jobs[j.state]++
 	}
+	h.EWMAJobSeconds = s.ewmaSec
 	draining := s.draining
 	s.mu.Unlock()
 	h.Status = "ok"
@@ -569,6 +650,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, h)
+}
+
+// serveFlightNames holds the interned flight event names of the
+// service actor; interning once at New keeps emits allocation-free.
+type serveFlightNames struct {
+	queue, cache, state flight.NameID
+}
+
+func newServeFlightNames(fl *flight.Recorder) serveFlightNames {
+	return serveFlightNames{
+		queue: fl.Name("job-queue"),
+		cache: fl.Name("result-cache"),
+		state: fl.Name("job-state"),
+	}
+}
+
+// Job state codes carried in the A argument of JobState flight events.
+var flightStateCode = map[State]int64{
+	StateQueued:    0,
+	StateRunning:   1,
+	StateDone:      2,
+	StateFailed:    3,
+	StateCancelled: 4,
+}
+
+// emitJobState records a job lifecycle transition on the service
+// actor's shard. No-op while the recorder is disabled.
+func (s *Server) emitJobState(serial int32, st State) {
+	s.fw.Emit(flight.JobState, serial, s.fn.state, flightStateCode[st], 0)
 }
 
 // setCacheRatio refreshes the cache hit-ratio gauge.

@@ -126,24 +126,14 @@ func delta(cur, base float64) string {
 	return fmt.Sprintf("%+.1f%%", pct)
 }
 
-func main() {
-	basePath := flag.String("base", "", "baseline go test -json capture (optional)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchdelta [-base old.json] current.json")
-		os.Exit(2)
-	}
-	cur, err := parseFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
-		os.Exit(1)
-	}
-	var base map[string]result
-	if *basePath != "" {
-		if base, err = parseFile(*basePath); err != nil {
-			fmt.Fprintf(os.Stderr, "benchdelta: no baseline (%v); showing current only\n", err)
-			base = nil
-		}
+// writeTable renders the comparison. The first line always states the
+// baseline situation, so a capture without one reads as a deliberate
+// "no baseline snapshot" rather than a silently empty delta column.
+func writeTable(out *bufio.Writer, cur, base map[string]result, baseDesc string) {
+	if base == nil {
+		fmt.Fprintln(out, "benchdelta: no baseline snapshot; showing current values only")
+	} else {
+		fmt.Fprintf(out, "benchdelta: delta vs %s\n", baseDesc)
 	}
 
 	names := make([]string, 0, len(cur))
@@ -152,9 +142,7 @@ func main() {
 	}
 	sort.Strings(names)
 
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	fmt.Fprintf(w, "%-36s %14s %9s %14s %9s %12s %9s\n",
+	fmt.Fprintf(out, "%-36s %14s %9s %14s %9s %12s %9s\n",
 		"benchmark", "ns/op", "Δ", "B/op", "Δ", "allocs/op", "Δ")
 	for _, n := range names {
 		c := cur[n]
@@ -178,6 +166,31 @@ func main() {
 		ns, dns := row("ns/op")
 		bb, dbb := row("B/op")
 		al, dal := row("allocs/op")
-		fmt.Fprintf(w, "%-36s %14s %9s %14s %9s %12s %9s\n", n, ns, dns, bb, dbb, al, dal)
+		fmt.Fprintf(out, "%-36s %14s %9s %14s %9s %12s %9s\n", n, ns, dns, bb, dbb, al, dal)
 	}
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline go test -json capture (optional)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta [-base old.json] current.json")
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+		os.Exit(1)
+	}
+	var base map[string]result
+	if *basePath != "" {
+		if base, err = parseFile(*basePath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdelta: baseline unreadable (%v)\n", err)
+			base = nil
+		}
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	writeTable(w, cur, base, *basePath)
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bufio"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -61,6 +63,52 @@ func TestDelta(t *testing.T) {
 	}
 	if got := delta(5, 0); got != "" {
 		t.Errorf("delta against zero baseline = %q, want empty", got)
+	}
+}
+
+func renderTable(cur, base map[string]result, baseDesc string) string {
+	var sb strings.Builder
+	w := bufio.NewWriter(&sb)
+	writeTable(w, cur, base, baseDesc)
+	w.Flush()
+	return sb.String()
+}
+
+func TestWriteTableNoBaseline(t *testing.T) {
+	cur := map[string]result{
+		"BenchmarkParallelReplay": {name: "BenchmarkParallelReplay",
+			units: map[string]float64{"ns/op": 21032146, "B/op": 4156430, "allocs/op": 6106}},
+	}
+	got := renderTable(cur, nil, "")
+	if !strings.HasPrefix(got, "benchdelta: no baseline snapshot; showing current values only\n") {
+		t.Errorf("missing no-baseline header:\n%s", got)
+	}
+	if strings.Contains(got, "%") {
+		t.Errorf("delta percentages printed without a baseline:\n%s", got)
+	}
+	if !strings.Contains(got, "21032146") {
+		t.Errorf("current values missing:\n%s", got)
+	}
+}
+
+func TestWriteTableWithBaseline(t *testing.T) {
+	cur := map[string]result{
+		"BenchmarkParallelReplay": {name: "BenchmarkParallelReplay",
+			units: map[string]float64{"ns/op": 21032146, "B/op": 4156430}},
+	}
+	base := map[string]result{
+		"BenchmarkParallelReplay": {name: "BenchmarkParallelReplay",
+			units: map[string]float64{"ns/op": 10516073, "B/op": 4156430}},
+	}
+	got := renderTable(cur, base, "BENCH_replay.prev.json")
+	if !strings.HasPrefix(got, "benchdelta: delta vs BENCH_replay.prev.json\n") {
+		t.Errorf("missing baseline header:\n%s", got)
+	}
+	if !strings.Contains(got, "+100.0%") {
+		t.Errorf("ns/op delta missing:\n%s", got)
+	}
+	if !strings.Contains(got, "+0.0%") {
+		t.Errorf("B/op delta missing:\n%s", got)
 	}
 }
 

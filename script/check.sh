@@ -51,4 +51,24 @@ METASCOPE_SOAK_SECONDS=2 go test -race -count=1 -run 'TestServeSoak' ./internal/
 echo "== go test -bench . -benchtime=1x (smoke)"
 go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
 
+# The flight recorder's contract is that a disabled recorder is free:
+# instrumented hot paths (every mailbox put/take in the parallel
+# replay) must not allocate when tracing is off. Gate on the benchmark
+# so a stray fmt.Sprintf or interface boxing in the Emit path fails CI
+# rather than taxing every analysis run.
+echo "== flight recorder zero-alloc gate (disabled path)"
+out=$(go test -run '^$' -bench 'BenchmarkFlightDisabled$' -benchmem -benchtime=100000x ./internal/obs/flight)
+echo "$out" | grep 'BenchmarkFlightDisabled' || { echo "check: zero-alloc benchmark did not run" >&2; exit 1; }
+if ! echo "$out" | grep 'BenchmarkFlightDisabled' | grep -q '\b0 allocs/op'; then
+	echo "check: disabled flight recorder allocates on the hot path" >&2
+	exit 1
+fi
+
+# The dogfood loop: analyze an experiment with the recorder on, export
+# the recording as a trace archive, and analyze THAT with the same
+# pipeline. Proves the self-instrumentation stays a valid input to the
+# analyzer end to end.
+echo "== flight self-trace round trip"
+go test -race -count=1 -run 'TestFlightSelfAnalysisRoundTrip' .
+
 echo "check: all green"
