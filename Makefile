@@ -30,7 +30,7 @@ vet:
 
 bench: ## replay + ingestion + flight-recorder benchmarks; BENCH_replay.json plus delta vs the committed baseline
 	@if [ -f BENCH_replay.json ]; then cp BENCH_replay.json BENCH_replay.prev.json; fi
-	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkArchiveLoad|BenchmarkScalabilityAnalysis|BenchmarkServeThroughput|BenchmarkFlight' \
+	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkArchiveLoad|BenchmarkScalabilityAnalysis|BenchmarkServeThroughput|BenchmarkFlight|BenchmarkStreamingIngest' \
 		-benchmem -json . ./internal/obs/flight > BENCH_replay.json
 	@if [ -f BENCH_replay.prev.json ]; then \
 		go run ./script/benchdelta -base BENCH_replay.prev.json BENCH_replay.json; \

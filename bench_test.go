@@ -15,7 +15,9 @@ package metascope_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
+	"time"
 
 	"metascope"
 	"metascope/internal/apps/clockbench"
@@ -379,6 +381,97 @@ func BenchmarkReplayTrafficVsTraceSize(b *testing.B) {
 	b.ReportMetric(mergeExternal/1024, "merge_ext_KiB")
 	b.ReportMetric(replayExternal/1024, "replay_ext_KiB")
 	b.ReportMetric(mergeExternal/replayExternal, "reduction_x")
+}
+
+// BenchmarkStreamingIngest measures the live ingest path on a prepared
+// MetaTrace archive: encoded trace bytes fed through a live session —
+// chunk decode, incremental replay, window scheduling — to a final
+// result, either as one chunk per rank ("oneshot") or as interleaved
+// 64 KiB chunks ("chunked"), against BenchmarkParallelReplay as the
+// post-mortem baseline. Reported metric: severity windows closed per
+// second of wall time.
+func BenchmarkStreamingIngest(b *testing.B) {
+	topo := metascope.VIOLA()
+	place := metascope.ViolaExperiment1Placement(topo)
+	e := metascope.NewExperiment("bench", topo, place, 42)
+	if err := e.Build(); err != nil {
+		b.Fatal(err)
+	}
+	params, err := metatrace.Setup(e.World(), metatrace.Default(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Run(func(m *measure.M) { metatrace.Body(m, params) }); err != nil {
+		b.Fatal(err)
+	}
+	traces, err := e.Traces()
+	if err != nil {
+		b.Fatal(err)
+	}
+	blobs := make([][]byte, len(traces))
+	var total int64
+	for i, tr := range traces {
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+		blobs[i] = buf.Bytes()
+		total += int64(buf.Len())
+	}
+	run := func(b *testing.B, chunk int) {
+		b.SetBytes(total)
+		var windows int64
+		for i := 0; i < b.N; i++ {
+			var w int64
+			l, err := replay.NewLive(replay.LiveConfig{
+				Config:    replay.Config{Scheme: vclock.Hierarchical},
+				Ranks:     len(blobs),
+				WindowSec: 0.5,
+				EmitEvery: time.Millisecond,
+				OnEvent: func(ev replay.StreamEvent) {
+					if ev.Summary != nil {
+						w = ev.Summary.WindowsClosed
+					}
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if chunk <= 0 {
+				for r, blob := range blobs {
+					if err := l.FeedChunk(r, blob); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				offs := make([]int, len(blobs))
+				for progressed := true; progressed; {
+					progressed = false
+					for r, blob := range blobs {
+						if offs[r] >= len(blob) {
+							continue
+						}
+						end := offs[r] + chunk
+						if end > len(blob) {
+							end = len(blob)
+						}
+						if err := l.FeedChunk(r, blob[offs[r]:end]); err != nil {
+							b.Fatal(err)
+						}
+						offs[r] = end
+						progressed = true
+					}
+				}
+			}
+			if _, err := l.Finalize(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			windows += w
+		}
+		b.ReportMetric(float64(windows)/b.Elapsed().Seconds(), "windows/s")
+	}
+	b.Run("oneshot", func(b *testing.B) { run(b, 0) })
+	b.Run("chunked-64KiB", func(b *testing.B) { run(b, 64<<10) })
 }
 
 // BenchmarkTraceEncodeDecode measures the trace format's throughput.

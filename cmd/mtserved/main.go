@@ -11,6 +11,13 @@
 //	curl -s 'localhost:8921/v1/jobs/job-1?wait=30s'
 //	curl -s 'localhost:8921/v1/jobs/job-1/result' > run1.cube
 //
+// Live analysis sessions stream an experiment's traces rank by rank
+// while it is still running (POST /v1/sessions, chunked PUTs, explicit
+// finalize); the analysis replays incrementally and publishes
+// wait-state windows over SSE on GET /v1/experiments/{id}/stream —
+// watch them with mtwatch or the built-in HTML view at
+// /v1/experiments/{id}/live.
+//
 // The service sheds load instead of buffering it: a full queue answers
 // 429 with a Retry-After estimate. SIGINT/SIGTERM starts a graceful
 // drain — intake closes (503), accepted jobs get -drain-timeout to
@@ -91,21 +98,29 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM")
 	flightOn := flag.Bool("flight", false, "enable the flight recorder; per-job traces on GET /v1/jobs/{id}/trace")
 	flightEvents := flag.Int("flight-events", 0, "flight-recorder ring capacity per actor (0: default)")
+	maxSessions := flag.Int("max-sessions", 8, "concurrently open live analysis sessions")
+	sessionIdle := flag.Duration("session-idle-timeout", 10*time.Minute, "abort a live session untouched for this long (negative disables)")
+	window := flag.Duration("window", time.Second, "default live-session severity window width")
+	streamTick := flag.Duration("stream-tick", 250*time.Millisecond, "live-session event publication period")
 	flag.Parse()
 	cli.Start()
 
 	scheme, err := vclock.ParseScheme(*schemeFlag)
 	if err == nil {
 		err = run(cli, serve.Options{
-			Workers:        *workers,
-			QueueDepth:     *queue,
-			CacheEntries:   *cacheN,
-			JobTimeout:     *jobTimeout,
-			Root:           *root,
-			MaxUploadBytes: *maxUpload,
-			Scheme:         scheme,
-			Flight:         *flightOn,
-			FlightEvents:   *flightEvents,
+			Workers:            *workers,
+			QueueDepth:         *queue,
+			CacheEntries:       *cacheN,
+			JobTimeout:         *jobTimeout,
+			Root:               *root,
+			MaxUploadBytes:     *maxUpload,
+			Scheme:             scheme,
+			Flight:             *flightOn,
+			FlightEvents:       *flightEvents,
+			MaxSessions:        *maxSessions,
+			SessionIdleTimeout: *sessionIdle,
+			WindowSec:          (*window).Seconds(),
+			StreamTick:         *streamTick,
 		}, *addr, *drainTimeout)
 	}
 	if ferr := cli.Flush(); err == nil {

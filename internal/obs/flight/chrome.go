@@ -143,6 +143,8 @@ func actorName(actor int32) string {
 		return "post-pass"
 	case actor == ServeActor:
 		return "serve"
+	case actor == WindowActor:
+		return "window-scheduler"
 	case actor == ProcessActor:
 		return "process"
 	default:
@@ -159,4 +161,7 @@ const (
 	// ServeActor tags service-level events (admission, queue, cache,
 	// job states) of internal/serve.
 	ServeActor int32 = -2
+	// WindowActor tags the live-session window scheduler: its periodic
+	// sink drains and the windows it closes.
+	WindowActor int32 = -3
 )

@@ -44,12 +44,18 @@ func (a *analyzer) result() (*Result, error) {
 		}
 	}
 
-	// The combined time-resolved profile: the per-worker accumulators
-	// merged in rank order (each was filled in its rank's deterministic
-	// sweep order), then the sequential post-passes below feed the
-	// remaining point-to-point wait series — so the bucket sums are
-	// reproducible bit-for-bit regardless of goroutine scheduling.
-	prof := profile.NewAccumulator(a.profCfg)
+	// The combined time-resolved profile. The interval axis is derived
+	// here, not before the replay: a live session only knows the
+	// corrected run span once every rank's stream has finished, and
+	// deriving it at the same point in both modes is what keeps the
+	// artifacts byte-identical. Each rank's deferred sample log is
+	// replayed into a per-rank accumulator (reproducing the exact Add
+	// sequence the worker performed) and merged in rank order, then the
+	// sequential post-passes below feed the remaining point-to-point
+	// wait series — so the bucket sums are reproducible bit-for-bit
+	// regardless of goroutine scheduling or chunking.
+	profCfg := profileConfig(a.traces, a.corr, a.cfg)
+	prof := profile.NewAccumulator(profCfg)
 	for _, t := range a.traces {
 		prof.SetMetahostName(t.Loc.Metahost, t.Loc.MetahostName)
 	}
@@ -59,7 +65,11 @@ func (a *analyzer) result() (*Result, error) {
 	prof.SetMeta(profile.KeyBytesIntra, profile.SeriesMeta{Name: "Intra-metahost message volume", Unit: "bytes"})
 	prof.SetMeta(profile.KeyBytesWide, profile.SeriesMeta{Name: "Wide-area message volume", Unit: "bytes"})
 	for _, rr := range a.results {
-		prof.Merge(rr.prof)
+		rp := profile.NewAccumulator(profCfg)
+		for _, s := range rr.profLog {
+			rp.Add(s.key, s.start, s.dur, s.val)
+		}
+		prof.Merge(rp)
 	}
 
 	// Wrong-order post-pass: a Late Sender instance is reclassified as
@@ -101,7 +111,31 @@ func (a *analyzer) result() (*Result, error) {
 		}
 	}
 
-	// Sender-side severities detected remotely (Late Receiver).
+	// Sender-side severities detected remotely (Late Receiver). The
+	// slice was appended by racing workers, so its order depends on
+	// scheduling — and in a live session also on chunk arrival. Sorting
+	// before the floating-point accumulation below makes the addition
+	// order, and therefore the cube bytes, a pure function of the trace
+	// contents.
+	sort.SliceStable(a.remote, func(i, j int) bool {
+		x, y := a.remote[i], a.remote[j]
+		if x.rank != y.rank {
+			return x.rank < y.rank
+		}
+		if x.cp != y.cp {
+			return x.cp < y.cp
+		}
+		if x.pat != y.pat {
+			return x.pat < y.pat
+		}
+		if x.mhA != y.mhA {
+			return x.mhA < y.mhA
+		}
+		if x.mhB != y.mhB {
+			return x.mhB < y.mhB
+		}
+		return x.val < y.val
+	})
 	for _, rc := range a.remote {
 		acc := &a.results[rc.rank].acc[rc.cp]
 		acc.waits[rc.pat] += rc.val

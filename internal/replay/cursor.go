@@ -1,0 +1,122 @@
+package replay
+
+import (
+	"sync"
+
+	"metascope/internal/trace"
+)
+
+// rankLog is the append-only event log one analysis process sweeps.
+// Post-mortem analysis wraps the fully loaded trace in a closed log;
+// a live session appends events as upload chunks decode and closes the
+// log when the rank's stream finishes. The sweep never sees a
+// difference beyond *when* events become visible, which is the whole
+// trick behind byte-identical streaming results: the worker's event
+// order, and therefore every accumulator's addition order, is the
+// trace order either way.
+type rankLog struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	events  []trace.Event
+	closed  bool
+	aborted bool
+}
+
+func newRankLog() *rankLog {
+	lg := &rankLog{}
+	lg.cond.L = &lg.mu
+	return lg
+}
+
+// newClosedRankLog wraps an already complete event slice (post-mortem
+// analysis) without copying.
+func newClosedRankLog(events []trace.Event) *rankLog {
+	lg := newRankLog()
+	lg.events = events
+	lg.closed = true
+	return lg
+}
+
+// append publishes more events and wakes the sweeping worker.
+func (lg *rankLog) append(events []trace.Event) {
+	if len(events) == 0 {
+		return
+	}
+	lg.mu.Lock()
+	lg.events = append(lg.events, events...)
+	lg.mu.Unlock()
+	lg.cond.Broadcast()
+}
+
+// close marks the log complete: no more events will arrive.
+func (lg *rankLog) close() {
+	lg.mu.Lock()
+	lg.closed = true
+	lg.mu.Unlock()
+	lg.cond.Broadcast()
+}
+
+// abort wakes a blocked sweep so a cancelled analysis unwinds.
+func (lg *rankLog) abort() {
+	lg.mu.Lock()
+	lg.aborted = true
+	lg.mu.Unlock()
+	lg.cond.Broadcast()
+}
+
+// view blocks until the log holds more than have events, is closed, or
+// is aborted, and returns a snapshot of the current state. The
+// returned slice is immutable: append only ever grows the log, and a
+// reallocation leaves old snapshots intact.
+func (lg *rankLog) view(have int) (events []trace.Event, closed, aborted bool) {
+	lg.mu.Lock()
+	for len(lg.events) == have && !lg.closed && !lg.aborted {
+		lg.cond.Wait()
+	}
+	events, closed, aborted = lg.events, lg.closed, lg.aborted
+	lg.mu.Unlock()
+	return events, closed, aborted
+}
+
+// snapshotIfClosed returns the complete event slice when the log was
+// closed before the sweep started — the post-mortem fast path, which
+// lets the worker pre-size its receive log.
+func (lg *rankLog) snapshotIfClosed() ([]trace.Event, bool) {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	if lg.closed {
+		return lg.events, true
+	}
+	return nil, false
+}
+
+// sweepCursor is one worker's forward view of a rankLog. at(i) reports
+// whether event i exists, blocking while it may still arrive; events
+// holds every event visible so far (valid up to the largest index at
+// returned true for).
+type sweepCursor struct {
+	lg      *rankLog
+	events  []trace.Event
+	closed  bool
+	aborted bool
+}
+
+func newSweepCursor(lg *rankLog) *sweepCursor {
+	sc := &sweepCursor{lg: lg}
+	lg.mu.Lock()
+	sc.events, sc.closed, sc.aborted = lg.events, lg.closed, lg.aborted
+	lg.mu.Unlock()
+	return sc
+}
+
+// at blocks until event i is visible and returns true, or returns
+// false when the log ended (closed before reaching i, or aborted).
+func (sc *sweepCursor) at(i int) bool {
+	for i >= len(sc.events) {
+		if sc.closed || sc.aborted {
+			return false
+		}
+		sc.events, sc.closed, sc.aborted = sc.lg.view(len(sc.events))
+	}
+	return true
+}

@@ -1,0 +1,707 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metascope/internal/obs"
+	"metascope/internal/obs/flight"
+	"metascope/internal/trace"
+	"metascope/internal/vclock"
+)
+
+// This file is the live (streaming) analysis engine: the same parallel
+// replay as Analyze, but fed incrementally while the experiment's
+// trace archive is still being uploaded rank by rank, chunk by chunk.
+//
+// The design invariant is byte-determinism with the post-mortem path:
+// every worker sweeps its rank's events in trace order through a
+// cursor (blocking while bytes are in flight instead of indexing a
+// complete slice), every accumulator therefore performs the exact
+// same additions in the exact same order, and the profile axis is
+// derived only at finalize — so feeding the same archive in any chunk
+// sizes and any rank interleaving yields a Result whose cube and
+// profile artifacts are byte-identical to Analyze over the whole
+// archive. The conformance suite asserts this.
+//
+// While the replay runs, scored severities are additionally deposited
+// into fixed time windows (streamSink); a scheduler goroutine drains
+// the sink periodically and publishes window deltas, the low-watermark
+// frontier (the minimum corrected sweep time over all ranks — no
+// event before it can still be scored, except for sender-side
+// amendments, which are flagged), and per-rank ingest lag as
+// StreamEvents. The serve layer forwards them over SSE.
+
+// LiveConfig configures a live analysis session.
+type LiveConfig struct {
+	Config
+	// Ranks is the world size, declared when the session is created.
+	Ranks int
+	// WindowSec is the severity-window width in corrected seconds.
+	// Zero selects 1 s.
+	WindowSec float64
+	// EmitEvery is the scheduler's drain period. Zero selects 50 ms.
+	EmitEvery time.Duration
+	// OnEvent receives every stream event, in sequence order, from the
+	// engine's goroutines. The callback must be fast and must not call
+	// back into the Live session.
+	OnEvent func(StreamEvent)
+}
+
+// StreamEvent is one event of a live session's output stream. Exactly
+// one of the payload pointers is set, matching Type.
+type StreamEvent struct {
+	Seq      uint64         `json:"seq"`
+	Type     string         `json:"type"` // "window" | "frontier" | "state" | "summary"
+	Window   *WindowEvent   `json:"window,omitempty"`
+	Frontier *FrontierEvent `json:"frontier,omitempty"`
+	State    *StateEvent    `json:"state,omitempty"`
+	Summary  *SummaryEvent  `json:"summary,omitempty"`
+}
+
+// WindowDelta is severity mass added to one series within one window.
+type WindowDelta struct {
+	Metric   string  `json:"metric"`
+	Metahost int     `json:"metahost"`
+	Value    float64 `json:"value"`
+}
+
+// WindowEvent reports new severity mass in one time window.
+type WindowEvent struct {
+	Index int64   `json:"index"`
+	Start float64 `json:"start"` // corrected seconds
+	End   float64 `json:"end"`
+	// Closed: the progress frontier has passed this window's end, so
+	// barring amendments its deltas are final.
+	Closed bool `json:"closed"`
+	// Amended: this window had already been reported closed and new
+	// mass still arrived (sender-side severities are deposited at the
+	// send time, which the frontier may have passed). Consumers must
+	// add deltas, never overwrite.
+	Amended bool          `json:"amended,omitempty"`
+	Deltas  []WindowDelta `json:"deltas"`
+}
+
+// RankLag is one rank's ingest position.
+type RankLag struct {
+	Rank     int     `json:"rank"`
+	Metahost string  `json:"metahost,omitempty"`
+	Events   int64   `json:"events"`
+	Bytes    int64   `json:"bytes"`
+	Ingested float64 `json:"ingested,omitempty"` // last ingested corrected ts
+	HasTime  bool    `json:"has_time"`
+	Finished bool    `json:"finished"`
+}
+
+// FrontierEvent reports the analysis frontier positions.
+type FrontierEvent struct {
+	// Progress is the low-watermark replay frontier: the minimum
+	// corrected sweep time over all ranks. Valid only when every rank
+	// has started and at least one is not yet done.
+	Progress      float64 `json:"progress,omitempty"`
+	ProgressValid bool    `json:"progress_valid"`
+	// Ingest is the minimum last-ingested corrected timestamp over all
+	// ranks — how far the slowest upload has reached.
+	Ingest      float64 `json:"ingest,omitempty"`
+	IngestValid bool    `json:"ingest_valid"`
+	// ClosedThrough is the highest window index closed so far (windows
+	// 0..ClosedThrough are final barring amendments); math.MinInt64
+	// means none.
+	ClosedThrough int64     `json:"closed_through"`
+	Ranks         []RankLag `json:"ranks,omitempty"`
+}
+
+// StateEvent reports a session lifecycle transition.
+type StateEvent struct {
+	State string `json:"state"` // "open" | "running" | "done" | "failed"
+	Error string `json:"error,omitempty"`
+}
+
+// SummaryEvent closes the stream: cumulative per-series totals and the
+// final analysis statistics, for consumers that joined late.
+type SummaryEvent struct {
+	Totals        []WindowDelta `json:"totals"`
+	WindowsClosed int64         `json:"windows_closed"`
+	Messages      int           `json:"messages"`
+	Collectives   int           `json:"collectives"`
+	Violations    int           `json:"violations"`
+}
+
+// liveRank is the per-rank ingest state of a live session.
+type liveRank struct {
+	mu       sync.Mutex
+	dec      *trace.ChunkDecoder
+	log      *rankLog
+	corr     vclock.LinearMap
+	haveCorr bool
+	finished bool
+
+	bytes      atomic.Int64
+	events     atomic.Int64
+	lastIngest atomic.Uint64 // corrected ts bits of the last ingested event
+	haveIngest atomic.Bool
+}
+
+// Live is one live analysis session. Feed chunks with FeedChunk (any
+// rank interleaving; per-rank order is the caller's contract), close
+// each rank's stream with FinishRank, then Finalize to obtain the
+// Result. FeedChunk may be called concurrently for different ranks.
+type Live struct {
+	cfg LiveConfig
+	rec *obs.Recorder
+	m   *streamMetrics
+	fw  *flight.Writer
+	fn  flight.NameID
+
+	ranks  []*liveRank
+	intern *trace.Interner
+
+	emitMu sync.Mutex
+	seq    uint64
+
+	mu       sync.Mutex
+	state    string
+	traces   []*trace.Trace
+	builder  *vclock.Builder
+	headers  int
+	started  bool
+	abortErr error
+	a        *analyzer
+
+	sink      *streamSink
+	runDone   chan struct{}
+	schedStop chan struct{}
+	schedDone chan struct{}
+
+	// Scheduler-goroutine-only state (the final drain runs after the
+	// scheduler has stopped, so no lock is needed).
+	closedThrough int64
+	closedSet     map[int64]bool
+}
+
+// NewLive opens a live analysis session for a world of cfg.Ranks
+// processes.
+func NewLive(cfg LiveConfig) (*Live, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("replay: live session needs a positive rank count, got %d", cfg.Ranks)
+	}
+	if cfg.EagerLimit <= 0 {
+		cfg.EagerLimit = 64 << 10
+	}
+	if cfg.Title == "" {
+		// Match AnalyzeContext's default so the report artifact of a
+		// default-titled live session is byte-identical to the
+		// post-mortem one.
+		cfg.Title = fmt.Sprintf("experiment (%d processes, %v)", cfg.Ranks, cfg.Scheme)
+	}
+	if cfg.WindowSec <= 0 {
+		cfg.WindowSec = 1
+	}
+	if cfg.EmitEvery <= 0 {
+		cfg.EmitEvery = 50 * time.Millisecond
+	}
+	rec := obs.OrDefault(cfg.Obs)
+	l := &Live{
+		cfg:           cfg,
+		rec:           rec,
+		m:             newStreamMetrics(rec),
+		ranks:         make([]*liveRank, cfg.Ranks),
+		intern:        trace.NewInterner(),
+		state:         "open",
+		traces:        make([]*trace.Trace, cfg.Ranks),
+		builder:       vclock.NewBuilder(cfg.Scheme, cfg.Ranks),
+		sink:          newStreamSink(0, cfg.WindowSec),
+		runDone:       make(chan struct{}),
+		schedStop:     make(chan struct{}),
+		schedDone:     make(chan struct{}),
+		closedThrough: math.MinInt64,
+		closedSet:     make(map[int64]bool),
+	}
+	l.fw = rec.Flight.Writer(flight.WindowActor)
+	if l.fw != nil {
+		l.fn = rec.Flight.Name("window-drain")
+	}
+	for i := range l.ranks {
+		l.ranks[i] = &liveRank{dec: trace.NewChunkDecoder(l.intern), log: newRankLog()}
+	}
+	l.emit(StreamEvent{Type: "state", State: &StateEvent{State: "open"}})
+	return l, nil
+}
+
+// rankCorrection derives one rank's clock-correction map from its own
+// trace header under the given scheme — the per-rank ingredient of
+// BuildCorrections, which is what makes incremental synchronization
+// over a prefix of the archive exact rather than approximate.
+func rankCorrection(t *trace.Trace, scheme vclock.Scheme) (vclock.LinearMap, error) {
+	switch scheme {
+	case vclock.FlatSingle, vclock.FlatInterp:
+		return vclock.FlatCorrection(scheme, t.Sync.FlatStart, t.Sync.FlatEnd)
+	case vclock.Hierarchical:
+		return vclock.HierarchicalCorrection(vclock.HierarchicalInput{
+			Rank:            t.Loc.Rank,
+			SlaveStart:      t.Sync.LocalStart,
+			SlaveEnd:        t.Sync.LocalEnd,
+			MasterStart:     t.Sync.MasterStart,
+			MasterEnd:       t.Sync.MasterEnd,
+			SharedNodeClock: t.Sync.SharedNodeClock,
+		}), nil
+	default:
+		return vclock.LinearMap{}, fmt.Errorf("replay: unknown synchronization scheme %v", scheme)
+	}
+}
+
+// sessionErr returns the sticky session failure, if any.
+func (l *Live) sessionErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.abortErr
+}
+
+// FeedChunk appends bytes to one rank's trace stream. Chunks of one
+// rank must arrive in order (the serve layer's sequence numbers
+// guarantee it); different ranks may feed concurrently. Decoded events
+// enter the replay immediately once the analysis is running.
+func (l *Live) FeedChunk(rank int, data []byte) error {
+	if rank < 0 || rank >= len(l.ranks) {
+		return fmt.Errorf("replay: chunk for rank %d outside world of %d", rank, len(l.ranks))
+	}
+	lr := l.ranks[rank]
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if err := l.sessionErr(); err != nil {
+		return err
+	}
+	if lr.finished {
+		return fmt.Errorf("replay: rank %d stream already finished", rank)
+	}
+	hadHeader := lr.dec.Header() != nil
+	evs, err := lr.dec.Feed(data)
+	if err != nil {
+		l.fail(err)
+		return err
+	}
+	lr.bytes.Add(int64(len(data)))
+	l.m.chunks.Inc()
+	l.m.bytes.Add(float64(len(data)))
+	if !hadHeader && lr.dec.Header() != nil {
+		if err := l.registerHeader(rank, lr, lr.dec.Header()); err != nil {
+			l.fail(err)
+			return err
+		}
+	}
+	if len(evs) > 0 {
+		lr.events.Add(int64(len(evs)))
+		l.m.events.Add(float64(len(evs)))
+		lr.lastIngest.Store(math.Float64bits(lr.corr.Apply(evs[len(evs)-1].Time)))
+		lr.haveIngest.Store(true)
+		lr.log.append(evs)
+	}
+	return nil
+}
+
+// registerHeader installs a rank's completed header: its correction
+// map enters the incremental sync builder, and when the last header
+// lands the analyzer starts sweeping.
+func (l *Live) registerHeader(rank int, lr *liveRank, t *trace.Trace) error {
+	if t.Loc.Rank != rank {
+		return fmt.Errorf("replay: stream for rank %d carries trace of rank %d", rank, t.Loc.Rank)
+	}
+	corr, err := rankCorrection(t, l.cfg.Scheme)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.builder.Set(rank, corr); err != nil {
+		return err
+	}
+	lr.corr = corr
+	lr.haveCorr = true
+	l.traces[rank] = t
+	l.headers++
+	if l.headers == len(l.ranks) {
+		return l.startLocked()
+	}
+	return nil
+}
+
+// startLocked launches the parallel replay once every header is in.
+// Called with l.mu held.
+func (l *Live) startLocked() error {
+	corrs, err := l.builder.Corrections()
+	if err != nil {
+		return err
+	}
+	vclock.ObserveCorrections(l.rec, l.cfg.Scheme, corrs)
+	comms, err := mergeComms(l.traces)
+	if err != nil {
+		return err
+	}
+	if err := checkCommCoverage(comms, len(l.traces)); err != nil {
+		return err
+	}
+	a := newAnalyzer(l.traces, corrs, comms, l.cfg.Config)
+	// Swap the closed post-mortem logs for the session's open ones and
+	// attach the live plumbing: the window sink and the progress
+	// frontier (initialized to -Inf — a rank that has not yet swept any
+	// event holds every window open).
+	for i, lr := range l.ranks {
+		a.logs[i] = lr.log
+	}
+	a.sink = l.sink
+	a.progress = make([]atomic.Uint64, len(l.ranks))
+	for i := range a.progress {
+		a.progress[i].Store(math.Float64bits(math.Inf(-1)))
+	}
+	l.a = a
+	l.started = true
+	l.state = "running"
+	go func() {
+		a.run()
+		close(l.runDone)
+	}()
+	go l.scheduler()
+	l.emit(StreamEvent{Type: "state", State: &StateEvent{State: "running"}})
+	return nil
+}
+
+// FinishRank declares one rank's stream complete. Idempotent. A stream
+// that ends mid-header or short of its declared event count fails the
+// session, exactly as a truncated file fails a post-mortem load.
+func (l *Live) FinishRank(rank int) error {
+	if rank < 0 || rank >= len(l.ranks) {
+		return fmt.Errorf("replay: finish for rank %d outside world of %d", rank, len(l.ranks))
+	}
+	lr := l.ranks[rank]
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if lr.finished {
+		return nil
+	}
+	if err := l.sessionErr(); err != nil {
+		return err
+	}
+	if _, err := lr.dec.Finish(); err != nil {
+		l.fail(err)
+		return err
+	}
+	lr.finished = true
+	lr.log.close()
+	return nil
+}
+
+// fail records the first fatal session error and aborts the running
+// analysis so every worker unwinds.
+func (l *Live) fail(err error) {
+	l.mu.Lock()
+	first := l.abortErr == nil
+	if first {
+		l.abortErr = err
+		l.state = "failed"
+		if l.a != nil {
+			l.a.abortWith(err)
+		}
+	}
+	l.mu.Unlock()
+	if first {
+		l.emit(StreamEvent{Type: "state", State: &StateEvent{State: "failed", Error: err.Error()}})
+	}
+}
+
+// RankLocation reports a rank's decoded location once its stream's
+// header has arrived — callers use it to cross-check the uploader's
+// claimed (metahost, rank) coordinates against the trace itself.
+func (l *Live) RankLocation(rank int) (trace.Location, bool) {
+	if rank < 0 || rank >= len(l.ranks) {
+		return trace.Location{}, false
+	}
+	lr := l.ranks[rank]
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	h := lr.dec.Header()
+	if h == nil {
+		return trace.Location{}, false
+	}
+	return h.Loc, true
+}
+
+// Abort cancels the session with the given cause (session timeout,
+// client delete, server drain).
+func (l *Live) Abort(cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	l.fail(fmt.Errorf("replay: live session aborted: %w", cause))
+}
+
+// Finalize closes every rank stream still open, waits for the replay
+// to drain, emits the final windows and the summary, and returns the
+// analysis Result — byte-identical to Analyze over the same bytes. It
+// must be called exactly once; ctx bounds the wait (expiry aborts the
+// session).
+func (l *Live) Finalize(ctx context.Context) (*Result, error) {
+	var ferr error
+	for rank := range l.ranks {
+		if err := l.FinishRank(rank); err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	l.mu.Lock()
+	started := l.started
+	emitFail := false
+	if !started && l.abortErr == nil {
+		l.abortErr = fmt.Errorf("replay: live session finalized before all rank headers arrived (%d of %d)",
+			l.headers, len(l.ranks))
+		l.state = "failed"
+		ferr = l.abortErr
+		emitFail = true // fail() has not run for this error, so no event yet
+	}
+	if ferr == nil {
+		ferr = l.abortErr
+	}
+	l.mu.Unlock()
+	if !started {
+		if emitFail {
+			l.emit(StreamEvent{Type: "state", State: &StateEvent{State: "failed", Error: ferr.Error()}})
+		}
+		return nil, ferr
+	}
+
+	// The workers drain on their own (closed logs), unless the session
+	// already failed — then abortWith has woken them. ctx expiry turns
+	// into an abort so a stuck finalize cannot leak the analyzer.
+	select {
+	case <-l.runDone:
+	case <-ctx.Done():
+		l.Abort(context.Cause(ctx))
+		<-l.runDone
+	}
+	close(l.schedStop)
+	<-l.schedDone
+
+	res, err := l.a.result()
+	if err != nil {
+		l.fail(err)
+		return nil, err
+	}
+	// Final drain: every remaining window is closed now (all sweeps
+	// done), then the stream ends with cumulative totals.
+	l.drainAndEmit(true)
+	totals := l.sink.totals()
+	sum := &SummaryEvent{
+		WindowsClosed: int64(len(l.closedSet)),
+		Messages:      res.Messages,
+		Collectives:   res.Collectives,
+		Violations:    res.Violations,
+	}
+	for k, v := range totals {
+		sum.Totals = append(sum.Totals, WindowDelta{Metric: k.Metric, Metahost: k.Metahost, Value: v})
+	}
+	sort.Slice(sum.Totals, func(i, j int) bool {
+		if sum.Totals[i].Metric != sum.Totals[j].Metric {
+			return sum.Totals[i].Metric < sum.Totals[j].Metric
+		}
+		return sum.Totals[i].Metahost < sum.Totals[j].Metahost
+	})
+	l.emit(StreamEvent{Type: "summary", Summary: sum})
+	l.mu.Lock()
+	l.state = "done"
+	l.mu.Unlock()
+	l.emit(StreamEvent{Type: "state", State: &StateEvent{State: "done"}})
+	return res, nil
+}
+
+// scheduler periodically drains the sink and publishes window and
+// frontier events until Finalize stops it.
+func (l *Live) scheduler() {
+	defer close(l.schedDone)
+	t := time.NewTicker(l.cfg.EmitEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.schedStop:
+			return
+		case <-t.C:
+			l.drainAndEmit(false)
+		}
+	}
+}
+
+// drainAndEmit drains the sink and emits one batch of window events
+// plus a frontier event. final=true (from Finalize, after the replay
+// drained) closes every touched window unconditionally.
+func (l *Live) drainAndEmit(final bool) {
+	drained := l.sink.drain()
+	progress, ingest, lags := l.frontierState()
+
+	// maxClosed: highest window index whose end the progress frontier
+	// has passed.
+	maxClosed := int64(math.MinInt64)
+	if final || math.IsInf(progress, 1) {
+		maxClosed = math.MaxInt64
+	} else if !math.IsInf(progress, -1) {
+		maxClosed = int64(math.Floor(progress/l.cfg.WindowSec)) - 1
+	}
+
+	idxs := make([]int64, 0, len(drained))
+	for w := range drained {
+		idxs = append(idxs, w)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, w := range idxs {
+		deltas := drained[w]
+		we := &WindowEvent{
+			Index:   w,
+			Start:   float64(w) * l.cfg.WindowSec,
+			End:     float64(w+1) * l.cfg.WindowSec,
+			Closed:  w <= maxClosed,
+			Amended: l.closedThrough != math.MinInt64 && w <= l.closedThrough,
+		}
+		for k, v := range deltas {
+			we.Deltas = append(we.Deltas, WindowDelta{Metric: k.Metric, Metahost: k.Metahost, Value: v})
+		}
+		sort.Slice(we.Deltas, func(i, j int) bool {
+			if we.Deltas[i].Metric != we.Deltas[j].Metric {
+				return we.Deltas[i].Metric < we.Deltas[j].Metric
+			}
+			return we.Deltas[i].Metahost < we.Deltas[j].Metahost
+		})
+		l.emit(StreamEvent{Type: "window", Window: we})
+		if we.Closed && !l.closedSet[w] {
+			l.closedSet[w] = true
+			l.m.windowsClosed.Inc()
+		}
+	}
+	if maxClosed != math.MinInt64 && maxClosed != math.MaxInt64 && maxClosed > l.closedThrough {
+		l.closedThrough = maxClosed
+	}
+	if maxClosed == math.MaxInt64 && len(idxs) > 0 && idxs[len(idxs)-1] > l.closedThrough {
+		l.closedThrough = idxs[len(idxs)-1]
+	}
+
+	fe := &FrontierEvent{ClosedThrough: l.closedThrough, Ranks: lags}
+	if !math.IsInf(progress, 0) && !math.IsNaN(progress) {
+		fe.Progress, fe.ProgressValid = progress, true
+		l.m.frontier.Set(progress)
+	}
+	if !math.IsInf(ingest, 0) && !math.IsNaN(ingest) {
+		fe.Ingest, fe.IngestValid = ingest, true
+	}
+	l.emit(StreamEvent{Type: "frontier", Frontier: fe})
+	if l.fw != nil {
+		l.fw.Emit(flight.Mark, l.cfg.FlightJob, l.fn, int64(len(idxs)), l.closedThrough)
+	}
+}
+
+// frontierState computes the progress and ingest frontiers and the
+// per-rank lag vector.
+func (l *Live) frontierState() (progress, ingest float64, lags []RankLag) {
+	l.mu.Lock()
+	a := l.a
+	traces := append([]*trace.Trace(nil), l.traces...)
+	l.mu.Unlock()
+	progress, ingest = math.Inf(1), math.Inf(1)
+	lags = make([]RankLag, len(l.ranks))
+	for i, lr := range l.ranks {
+		lag := RankLag{
+			Rank:   i,
+			Events: lr.events.Load(),
+			Bytes:  lr.bytes.Load(),
+		}
+		if t := traces[i]; t != nil {
+			lag.Metahost = t.Loc.MetahostName
+		}
+		if lr.haveIngest.Load() {
+			v := math.Float64frombits(lr.lastIngest.Load())
+			lag.Ingested, lag.HasTime = v, true
+			if v < ingest {
+				ingest = v
+			}
+		} else {
+			ingest = math.Inf(-1) // a rank with nothing ingested pins the frontier
+		}
+		lr.mu.Lock()
+		lag.Finished = lr.finished
+		lr.mu.Unlock()
+		if a != nil {
+			if p := math.Float64frombits(a.progress[i].Load()); p < progress {
+				progress = p
+			}
+		} else {
+			progress = math.Inf(-1)
+		}
+		lags[i] = lag
+	}
+	return progress, ingest, lags
+}
+
+// emit assigns the next sequence number and delivers the event.
+func (l *Live) emit(ev StreamEvent) {
+	l.emitMu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	if l.cfg.OnEvent != nil {
+		l.cfg.OnEvent(ev)
+	}
+	l.emitMu.Unlock()
+	l.m.emits.With(ev.Type).Inc()
+}
+
+// LiveStatus is a point-in-time view of a session for vitals and the
+// session GET endpoint.
+type LiveStatus struct {
+	State          string `json:"state"`
+	Ranks          int    `json:"ranks"`
+	Headers        int    `json:"headers"`
+	RanksFinished  int    `json:"ranks_finished"`
+	BytesIngested  int64  `json:"bytes_ingested"`
+	EventsIngested int64  `json:"events_ingested"`
+}
+
+// Status reports the session's current state.
+func (l *Live) Status() LiveStatus {
+	l.mu.Lock()
+	st := LiveStatus{State: l.state, Ranks: len(l.ranks), Headers: l.headers}
+	l.mu.Unlock()
+	for _, lr := range l.ranks {
+		st.BytesIngested += lr.bytes.Load()
+		st.EventsIngested += lr.events.Load()
+		lr.mu.Lock()
+		if lr.finished {
+			st.RanksFinished++
+		}
+		lr.mu.Unlock()
+	}
+	return st
+}
+
+// streamMetrics pre-registers the live-session metric families.
+type streamMetrics struct {
+	chunks, bytes, events *obs.Series
+	windowsClosed         *obs.Series
+	frontier              *obs.Series
+	emits                 *obs.Family
+}
+
+func newStreamMetrics(rec *obs.Recorder) *streamMetrics {
+	r := rec.Reg
+	return &streamMetrics{
+		chunks: r.Counter("metascope_stream_chunks_total",
+			"trace chunks ingested by live sessions").With(),
+		bytes: r.Counter("metascope_stream_bytes_total",
+			"trace bytes ingested by live sessions").With(),
+		events: r.Counter("metascope_stream_events_total",
+			"trace events decoded by live sessions").With(),
+		windowsClosed: r.Counter("metascope_stream_windows_closed_total",
+			"severity windows closed by live sessions").With(),
+		frontier: r.Gauge("metascope_stream_frontier_seconds",
+			"progress frontier (min corrected sweep time) of the last live session").With(),
+		emits: r.Counter("metascope_stream_emits_total",
+			"stream events emitted by live sessions", "type"),
+	}
+}

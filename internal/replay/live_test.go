@@ -1,0 +1,365 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"metascope/internal/pattern"
+	"metascope/internal/trace"
+	"metascope/internal/vclock"
+)
+
+// liveTraces builds a 3-rank, 2-metahost experiment exercising every
+// streamed severity source: a cross-metahost Late Sender (rank 0 on A
+// sends late to rank 1 on B), a rendezvous Late Receiver (rank 2's
+// large send blocks on rank 0's late receive), message volume on both
+// sides of the metahost boundary, and a barrier rank 1 enters late.
+func liveTraces() []*trace.Trace {
+	world := trace.CommDef{ID: 0, Ranks: []int32{0, 1, 2}}
+	big := int64(1 << 20) // over the eager limit: rendezvous path
+	t0 := synth(0, 0, []trace.Event{
+		enter(0, 0),
+		enter(4, 1), send(4, 1, 7, 100), exit(4.5, 1),
+		enter(6, 2), recv(8, 2, 9, big), exit(8, 2),
+		enter(8.5, 3), collExit(9.5, trace.CollBarrier, -1), exit(9.5, 3),
+		exit(12, 0),
+	}, world)
+	t1 := synth(1, 1, []trace.Event{
+		enter(0, 0),
+		enter(1, 2), recv(5, 0, 7, 100), exit(5, 2),
+		enter(9, 3), collExit(9.5, trace.CollBarrier, -1), exit(9.5, 3),
+		exit(12, 0),
+	}, world)
+	t2 := synth(2, 1, []trace.Event{
+		enter(0, 0),
+		enter(2, 1), send(2, 0, 9, big), exit(8, 1),
+		enter(8.5, 3), collExit(9.5, trace.CollBarrier, -1), exit(9.5, 3),
+		exit(12, 0),
+	}, world)
+	return []*trace.Trace{t0, t1, t2}
+}
+
+func encodeTraces(t *testing.T, traces []*trace.Trace) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(traces))
+	for i, tr := range traces {
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = buf.Bytes()
+	}
+	return out
+}
+
+// artifacts renders the result's report and profile to bytes — the
+// byte-determinism unit of comparison.
+func artifacts(t *testing.T, res *Result) (report, prof []byte) {
+	t.Helper()
+	var rb, pb bytes.Buffer
+	if err := res.Report.Write(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Profile.WriteJSON(&pb); err != nil {
+		t.Fatal(err)
+	}
+	return rb.Bytes(), pb.Bytes()
+}
+
+// runLive streams the encoded traces through a live session using the
+// given chunking plan and returns the result plus the event stream.
+// plan yields (rank, chunk) pairs; per-rank order must be preserved.
+type feedStep struct {
+	rank  int
+	chunk []byte
+}
+
+func runLive(t *testing.T, cfg Config, n int, plan []feedStep) (*Result, []StreamEvent) {
+	t.Helper()
+	var got []StreamEvent
+	l, err := NewLive(LiveConfig{
+		Config:    cfg,
+		Ranks:     n,
+		WindowSec: 2,
+		EmitEvery: time.Millisecond,
+		// OnEvent calls are serialized by the engine, and Finalize
+		// happens-after the last of them — got is safe to read below.
+		OnEvent: func(ev StreamEvent) { got = append(got, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range plan {
+		if err := l.FeedChunk(st.rank, st.chunk); err != nil {
+			t.Fatalf("feed rank %d: %v", st.rank, err)
+		}
+	}
+	res, err := l.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, got
+}
+
+// chunkPlan slices each rank's bytes into size-byte chunks and
+// interleaves ranks round-robin.
+func chunkPlan(blobs [][]byte, size int) []feedStep {
+	var plan []feedStep
+	offs := make([]int, len(blobs))
+	for {
+		progressed := false
+		for r, b := range blobs {
+			if offs[r] >= len(b) {
+				continue
+			}
+			end := offs[r] + size
+			if end > len(b) {
+				end = len(b)
+			}
+			plan = append(plan, feedStep{r, b[offs[r]:end]})
+			offs[r] = end
+			progressed = true
+		}
+		if !progressed {
+			return plan
+		}
+	}
+}
+
+func TestLiveMatchesPostMortem(t *testing.T) {
+	cfg := Config{Scheme: vclock.FlatSingle, Title: "live determinism"}
+	traces := liveTraces()
+	blobs := encodeTraces(t, traces)
+	post, err := Analyze(liveTraces(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReport, wantProf := artifacts(t, post)
+
+	plans := map[string][]feedStep{
+		"round-robin-small": chunkPlan(blobs, 17),
+		"whole-files":       {{0, blobs[0]}, {1, blobs[1]}, {2, blobs[2]}},
+		"reverse-ranks":     {{2, blobs[2]}, {1, blobs[1]}, {0, blobs[0]}},
+	}
+	// Seeded random chunk sizes with random rank interleaving.
+	rng := rand.New(rand.NewSource(11))
+	var random []feedStep
+	offs := make([]int, len(blobs))
+	for {
+		live := make([]int, 0, len(blobs))
+		for r := range blobs {
+			if offs[r] < len(blobs[r]) {
+				live = append(live, r)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		r := live[rng.Intn(len(live))]
+		end := offs[r] + 1 + rng.Intn(40)
+		if end > len(blobs[r]) {
+			end = len(blobs[r])
+		}
+		random = append(random, feedStep{r, blobs[r][offs[r]:end]})
+		offs[r] = end
+	}
+	plans["random"] = random
+
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			res, _ := runLive(t, cfg, len(blobs), plan)
+			gotReport, gotProf := artifacts(t, res)
+			if !bytes.Equal(gotReport, wantReport) {
+				t.Errorf("report bytes differ from post-mortem (%d vs %d bytes)", len(gotReport), len(wantReport))
+			}
+			if !bytes.Equal(gotProf, wantProf) {
+				t.Errorf("profile bytes differ from post-mortem (%d vs %d bytes)", len(gotProf), len(wantProf))
+			}
+			if res.Messages != post.Messages || res.Collectives != post.Collectives || res.Violations != post.Violations {
+				t.Errorf("counts differ: live %d/%d/%d post %d/%d/%d",
+					res.Messages, res.Collectives, res.Violations,
+					post.Messages, post.Collectives, post.Violations)
+			}
+		})
+	}
+}
+
+func TestLiveStreamDeltasSumToCube(t *testing.T) {
+	cfg := Config{Scheme: vclock.FlatSingle, Title: "live deltas"}
+	traces := liveTraces()
+	blobs := encodeTraces(t, traces)
+	res, events := runLive(t, cfg, len(blobs), chunkPlan(blobs, 23))
+
+	// Cumulative window deltas must equal the summary totals exactly
+	// (both are sums of the same deposits)...
+	sums := map[deltaKey]float64{}
+	var summary *SummaryEvent
+	for _, ev := range events {
+		if ev.Window != nil {
+			for _, d := range ev.Window.Deltas {
+				sums[deltaKey{d.Metric, d.Metahost}] += d.Value
+			}
+		}
+		if ev.Summary != nil {
+			summary = ev.Summary
+		}
+	}
+	if summary == nil {
+		t.Fatal("no summary event emitted")
+	}
+	if len(summary.Totals) == 0 {
+		t.Fatal("summary has no totals")
+	}
+	for _, tot := range summary.Totals {
+		got := sums[deltaKey{tot.Metric, tot.Metahost}]
+		if math.Abs(got-tot.Value) > 1e-9*math.Max(1, math.Abs(tot.Value)) {
+			t.Errorf("%s@mh%d: window deltas sum %g, summary %g", tot.Metric, tot.Metahost, got, tot.Value)
+		}
+	}
+
+	// ...and wait-state family totals must match the cube's
+	// subtree-inclusive totals summed over the metahost's ranks.
+	mhOf := map[int]int{}
+	for _, tr := range traces {
+		mhOf[tr.Loc.Rank] = tr.Loc.Metahost
+	}
+	for _, fam := range []pattern.ID{pattern.LateSender, pattern.LateReceiver, pattern.WaitBarrier, pattern.BarrierCompletion} {
+		key := fam.MetricKey()
+		cubeByMH := map[int]float64{}
+		for rank, mh := range mhOf {
+			cubeByMH[mh] += res.Report.RankMetricTotal(key, rank)
+		}
+		for mh, want := range cubeByMH {
+			got := sums[deltaKey{key, mh}]
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Errorf("%s@mh%d: streamed %g, cube subtree %g", key, mh, got, want)
+			}
+		}
+	}
+	if sums[deltaKey{pattern.LateSender.MetricKey(), 1}] <= 0 {
+		t.Error("expected positive late-sender mass at metahost 1")
+	}
+	if sums[deltaKey{pattern.LateReceiver.MetricKey(), 1}] <= 0 {
+		t.Error("expected positive late-receiver mass at metahost 1")
+	}
+}
+
+func TestLiveStreamEventShape(t *testing.T) {
+	cfg := Config{Scheme: vclock.FlatSingle, Title: "live shape"}
+	blobs := encodeTraces(t, liveTraces())
+	_, events := runLive(t, cfg, len(blobs), chunkPlan(blobs, 64))
+
+	var lastSeq uint64
+	var states []string
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("sequence not strictly increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		set := 0
+		for _, p := range []bool{ev.Window != nil, ev.Frontier != nil, ev.State != nil, ev.Summary != nil} {
+			if p {
+				set++
+			}
+		}
+		if set != 1 {
+			t.Fatalf("event %d has %d payloads", ev.Seq, set)
+		}
+		if ev.State != nil {
+			states = append(states, ev.State.State)
+		}
+	}
+	want := []string{"open", "running", "done"}
+	if strings.Join(states, ",") != strings.Join(want, ",") {
+		t.Fatalf("state transitions %v, want %v", states, want)
+	}
+	if events[len(events)-1].State == nil || events[len(events)-1].State.State != "done" {
+		t.Fatal("stream must end with the done state event")
+	}
+}
+
+func TestLiveRejectsBadStreams(t *testing.T) {
+	cfg := Config{Scheme: vclock.FlatSingle}
+	blobs := encodeTraces(t, liveTraces())
+
+	t.Run("corrupt chunk fails session", func(t *testing.T) {
+		l, err := NewLive(LiveConfig{Config: cfg, Ranks: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.FeedChunk(0, []byte("XSCP garbage")); err == nil {
+			t.Fatal("corrupt magic accepted")
+		}
+		// The failure is sticky for the whole session.
+		if err := l.FeedChunk(1, blobs[1]); err == nil {
+			t.Fatal("feed after session failure accepted")
+		}
+		if st := l.Status(); st.State != "failed" {
+			t.Fatalf("state %q, want failed", st.State)
+		}
+	})
+
+	t.Run("rank mismatch", func(t *testing.T) {
+		l, err := NewLive(LiveConfig{Config: cfg, Ranks: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.FeedChunk(0, blobs[1]); err == nil || !strings.Contains(err.Error(), "carries trace of rank") {
+			t.Fatalf("err = %v, want rank-mismatch", err)
+		}
+	})
+
+	t.Run("finalize before headers", func(t *testing.T) {
+		l, err := NewLive(LiveConfig{Config: cfg, Ranks: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.FeedChunk(0, blobs[0][:8]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Finalize(context.Background()); err == nil {
+			t.Fatal("finalize with incomplete streams succeeded")
+		}
+	})
+
+	t.Run("out of range", func(t *testing.T) {
+		l, err := NewLive(LiveConfig{Config: cfg, Ranks: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.FeedChunk(3, blobs[0]); err == nil {
+			t.Fatal("rank 3 accepted in world of 3")
+		}
+		if err := l.FinishRank(-1); err == nil {
+			t.Fatal("finish of rank -1 accepted")
+		}
+	})
+}
+
+func TestLiveAbort(t *testing.T) {
+	cfg := Config{Scheme: vclock.FlatSingle}
+	blobs := encodeTraces(t, liveTraces())
+	l, err := NewLive(LiveConfig{Config: cfg, Ranks: 3, EmitEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start the analysis (all headers in) but leave the streams open:
+	// the workers are blocked on their cursors.
+	for r, b := range blobs {
+		if err := l.FeedChunk(r, b[:len(b)-4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Abort(context.Canceled)
+	if _, err := l.Finalize(context.Background()); err == nil {
+		t.Fatal("finalize of aborted session succeeded")
+	}
+	if st := l.Status(); st.State != "failed" {
+		t.Fatalf("state %q, want failed", st.State)
+	}
+}

@@ -463,7 +463,6 @@ func AnalyzeContext(ctx context.Context, traces []*trace.Trace, cfg Config) (*Re
 	}
 	a := newAnalyzer(traces, corr, comms, cfg)
 	a.metrics = m
-	a.profCfg = profileConfig(traces, a.corr, cfg)
 
 	events := 0
 	for _, t := range traces {

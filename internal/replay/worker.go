@@ -3,6 +3,7 @@ package replay
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime/pprof"
 	"strconv"
 	"sync"
@@ -261,12 +262,29 @@ type rankResult struct {
 	replayBytes    int64
 	replayExternal int64
 	commMatrix     map[[2]int]CommVolume // outgoing traffic by (myMH, dstMH)
-	// prof is this analysis process's slice of the time-resolved
-	// severity profile. Each worker feeds only its own accumulator in
-	// its (deterministic) sweep order; result() merges them in rank
-	// order, so the combined profile is reproducible bit-for-bit.
-	prof *profile.Accumulator
-	err  error
+	// profLog is this analysis process's slice of the time-resolved
+	// severity profile, recorded as raw samples in sweep order. The
+	// profile's interval axis (origin, bucket width) is only known once
+	// every trace is complete — post-mortem that is before the replay
+	// starts, in a live session only at finalize — so workers defer the
+	// samples and result() replays each rank's log into a per-rank
+	// accumulator and merges them in rank order, reproducible
+	// bit-for-bit in both modes.
+	profLog []profSample
+	err     error
+}
+
+// profSample is one deferred profile deposit: Add(key, start, dur,
+// val), with dur==0 standing for AddPoint.
+type profSample struct {
+	key   profile.Key
+	start float64
+	dur   float64
+	val   float64
+}
+
+func (rr *rankResult) addProf(k profile.Key, start, dur, val float64) {
+	rr.profLog = append(rr.profLog, profSample{key: k, start: start, dur: dur, val: val})
 }
 
 func (rr *rankResult) cpID(parent int, region trace.RegionID, name string, kind trace.RegionKind) int {
@@ -288,6 +306,18 @@ type analyzer struct {
 	comms  map[int32][]int32
 	cfg    Config
 
+	// logs hold the per-rank event streams the workers sweep. Post-
+	// mortem they are closed over the loaded traces before run();
+	// a live session swaps in open logs that fill as chunks land.
+	logs []*rankLog
+	// sink, when non-nil, receives every scored severity as a windowed
+	// delta for the live stream (nil post-mortem: one branch per score).
+	sink *streamSink
+	// progress, when non-nil, tracks each worker's corrected sweep time
+	// (float64 bits; +Inf once the rank is done) — the live engine's
+	// window-close frontier.
+	progress []atomic.Uint64
+
 	mailboxes []*mailbox
 	colls     map[int32]*collDomain
 
@@ -308,9 +338,6 @@ type analyzer struct {
 	fl    *flight.Recorder
 	flJob int32
 	fn    flightNames
-	// profCfg shapes the per-rank profile accumulators (shared interval
-	// axis derived from the corrected run span).
-	profCfg profile.Config
 
 	// Cancellation: abortWith trips once, waking every worker blocked in
 	// a mailbox take or a collective gather; replayRank also polls the
@@ -345,6 +372,10 @@ func newAnalyzer(traces []*trace.Trace, corr []vclock.Correction, comms map[int3
 	}
 	for _, c := range corr {
 		a.corr[c.Rank] = c.Map
+	}
+	a.logs = make([]*rankLog, len(traces))
+	for i, t := range traces {
+		a.logs[i] = newClosedRankLog(t.Events)
 	}
 	for i := range a.mailboxes {
 		a.mailboxes[i] = newMailbox()
@@ -395,6 +426,9 @@ func (a *analyzer) abortWith(cause error) {
 		close(a.abortCh)
 		for _, mb := range a.mailboxes {
 			mb.setAbort()
+		}
+		for _, lg := range a.logs {
+			lg.abort()
 		}
 	})
 }
@@ -467,7 +501,6 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 	rr := &rankResult{
 		rank: rank, byKey: make(map[cpKey]int),
 		commMatrix: make(map[[2]int]CommVolume),
-		prof:       profile.NewAccumulator(a.profCfg),
 	}
 	regions := make(map[trace.RegionID]*trace.Region, len(t.Regions))
 	for i := range t.Regions {
@@ -475,16 +508,31 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 	}
 	collSeq := make(map[int32]int)
 
-	// One receive-log entry is appended per Recv event; sizing the log
-	// exactly up front avoids the doubling reallocations that dominated
-	// the analyzer's allocation profile.
-	nrecv := 0
-	for i := range t.Events {
-		if t.Events[i].Kind == trace.KindRecv {
-			nrecv++
+	// The sweep reads its events through a cursor so the same code
+	// serves both modes: post-mortem the log is closed up front and
+	// at() never blocks; live it blocks until the next chunk lands.
+	sc := newSweepCursor(a.logs[rank])
+
+	// One receive-log entry is appended per Recv event; when the whole
+	// log is already present (post-mortem), sizing it exactly up front
+	// avoids the doubling reallocations that dominated the analyzer's
+	// allocation profile.
+	if events, ok := a.logs[rank].snapshotIfClosed(); ok {
+		nrecv := 0
+		for i := range events {
+			if events[i].Kind == trace.KindRecv {
+				nrecv++
+			}
 		}
+		rr.recvLog = make([]recvInfo, 0, nrecv)
 	}
-	rr.recvLog = make([]recvInfo, 0, nrecv)
+
+	// Publish sweep progress for the live frontier: the last corrected
+	// event time, and +Inf once this rank's sweep is over (done or
+	// failed — either way it will never hold a window open again).
+	if a.progress != nil {
+		defer a.progress[rank].Store(math.Float64bits(math.Inf(1)))
+	}
 
 	// Flight recording: one shard per rank (nil while the recorder is
 	// disabled — every emit below then costs a single branch). The
@@ -505,17 +553,27 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 	}
 
 	var stack []stackEntry
-	events := t.Events
-	for i := 0; i < len(events); i++ {
+	for i := 0; ; i++ {
+		if !sc.at(i) {
+			if sc.aborted {
+				rr.err = a.cancelErr(rank)
+				return rr
+			}
+			break // log closed: the sweep is complete
+		}
 		// Periodic abort poll: a cancelled analysis must not finish a
 		// multi-million-event sweep first. Blocking points (mailbox
-		// takes, collective gathers) unblock through their own paths.
+		// takes, collective gathers, cursor waits) unblock through
+		// their own paths.
 		if i&1023 == 0 && a.aborted.Load() {
 			rr.err = a.cancelErr(rank)
 			return rr
 		}
-		ev := &events[i]
+		ev := &sc.events[i]
 		ct := corr.Apply(ev.Time) + delta
+		if a.progress != nil {
+			a.progress[rank].Store(math.Float64bits(ct))
+		}
 		switch ev.Kind {
 		case trace.KindEnter:
 			reg := regions[ev.Region]
@@ -546,9 +604,13 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 				return rr
 			}
 			top := stack[len(stack)-1]
-			exitT, ok := a.regionExitTime(events, i, corr, delta)
+			exitT, ok := regionExitTime(sc, i, corr, delta)
 			if !ok {
-				rr.err = fmt.Errorf("replay: rank %d: unterminated MPI region at event %d", rank, i)
+				if sc.aborted {
+					rr.err = a.cancelErr(rank)
+				} else {
+					rr.err = fmt.Errorf("replay: rank %d: unterminated MPI region at event %d", rank, i)
+				}
 				return rr
 			}
 			def := a.comms[ev.Comm]
@@ -572,7 +634,10 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 			if dstMH != myMH {
 				volKey = profile.KeyBytesWide
 			}
-			rr.prof.AddPoint(profile.Key{Metric: volKey, Metahost: myMH, Rank: rank}, ct, float64(ev.Bytes))
+			rr.addProf(profile.Key{Metric: volKey, Metahost: myMH, Rank: rank}, ct, 0, float64(ev.Bytes))
+			if a.sink != nil {
+				a.sink.add(deltaKey{Metric: volKey, Metahost: myMH}, ct, 0, float64(ev.Bytes))
+			}
 			if fw != nil {
 				fw.Emit(flight.Send, a.flJob, a.fn.put, int64(dst), flightSig(ev.Comm, ev.Tag))
 			}
@@ -627,6 +692,14 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 			}
 			grid := rec.srcMetahost != myMH
 			ls := pattern.LateSenderWait(rec.sendEnter, top.enter, ct)
+			if a.sink != nil && ls > 0 {
+				// Streamed at family granularity: the post-pass may
+				// reclassify the instance as wrong-order or grid, both
+				// children of Late Sender in the metric tree, so the
+				// family's inclusive cube total matches the stream.
+				a.sink.add(deltaKey{Metric: pattern.LateSender.MetricKey(), Metahost: myMH},
+					top.enter, ls, ls)
+			}
 			rr.recvLog = append(rr.recvLog, recvInfo{
 				cp:        top.cp,
 				sendEvent: rec.sendEvent,
@@ -648,10 +721,14 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 					})
 					// The sender blocked from its enter until the wait
 					// elapsed; the detecting (receiving) process records
-					// the interval into its own accumulator, keyed to
+					// the interval into its own sample log, keyed to
 					// the suffering sender.
-					rr.prof.Add(profile.Key{Metric: pat.MetricKey(), Metahost: rec.srcMetahost, Rank: int(rec.srcWorld)},
+					rr.addProf(profile.Key{Metric: pat.MetricKey(), Metahost: rec.srcMetahost, Rank: int(rec.srcWorld)},
 						rec.sendEnter, lr, lr)
+					if a.sink != nil {
+						a.sink.add(deltaKey{Metric: pattern.LateReceiver.MetricKey(), Metahost: rec.srcMetahost},
+							rec.sendEnter, lr, lr)
+					}
 				}
 			}
 
@@ -710,16 +787,22 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 // the event at index i (the first Exit that returns to the current
 // nesting depth). Under timestamp repair the current shift is used;
 // shifts applied later inside the region are not foreseen, a deliberate
-// simplification of the full controlled logical clock.
-func (a *analyzer) regionExitTime(events []trace.Event, i int, corr vclock.LinearMap, delta float64) (float64, bool) {
+// simplification of the full controlled logical clock. The lookahead
+// runs through the cursor: in a live session it blocks until the
+// enclosing MPI call's Exit has been ingested (MPI calls are leaf
+// regions spanning a handful of events, so the wait is one chunk at
+// most). ok=false means the log ended first — closed without the Exit
+// (an unterminated region) or aborted; the caller distinguishes via
+// sc.aborted.
+func regionExitTime(sc *sweepCursor, i int, corr vclock.LinearMap, delta float64) (float64, bool) {
 	depth := 0
-	for j := i + 1; j < len(events); j++ {
-		switch events[j].Kind {
+	for j := i + 1; sc.at(j); j++ {
+		switch sc.events[j].Kind {
 		case trace.KindEnter:
 			depth++
 		case trace.KindExit:
 			if depth == 0 {
-				return corr.Apply(events[j].Time) + delta, true
+				return corr.Apply(sc.events[j].Time) + delta, true
 			}
 			depth--
 		}
@@ -759,6 +842,11 @@ func (a *analyzer) scoreCollective(rr *rankResult, cp int, ev *trace.Event, g *c
 		if v <= 0 {
 			return
 		}
+		if a.sink != nil {
+			// Streamed under the base pattern: the grid variant is its
+			// child in the metric tree, so the family total matches.
+			a.sink.add(deltaKey{Metric: pat.MetricKey(), Metahost: myMH}, myEnter, v, v)
+		}
 		if spans {
 			pat = pat.Gridded()
 			rr.acc[cp].addPair(pat, myMH, causeMH, v)
@@ -766,7 +854,7 @@ func (a *analyzer) scoreCollective(rr *rankResult, cp int, ev *trace.Event, g *c
 		rr.acc[cp].waits[pat] += v
 		// Waiting starts when this process enters the operation and
 		// lasts until the cause arrives.
-		rr.prof.Add(profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank}, myEnter, v, v)
+		rr.addProf(profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank}, myEnter, v, v)
 	}
 	// Completion waits sit at the *end* of the operation: from the last
 	// participant's enter to this process's exit.
@@ -775,7 +863,10 @@ func (a *analyzer) scoreCollective(rr *rankResult, cp int, ev *trace.Event, g *c
 			return
 		}
 		rr.acc[cp].waits[pat] += v
-		rr.prof.Add(profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank}, myDone-v, v, v)
+		rr.addProf(profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank}, myDone-v, v, v)
+		if a.sink != nil {
+			a.sink.add(deltaKey{Metric: pat.MetricKey(), Metahost: myMH}, myDone-v, v, v)
+		}
 	}
 	switch {
 	case ev.Coll == trace.CollBarrier:

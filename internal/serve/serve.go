@@ -88,6 +88,20 @@ type Options struct {
 	// FlightEvents is the per-actor ring capacity when Flight is set
 	// (0 selects flight.DefaultRingEvents).
 	FlightEvents int
+	// MaxSessions bounds concurrently open live analysis sessions
+	// (default 8; each session holds its rank logs and replay workers
+	// in memory until finalized).
+	MaxSessions int
+	// SessionIdleTimeout aborts a live session no chunk has touched for
+	// this long (default 10m; negative disables the watchdog).
+	SessionIdleTimeout time.Duration
+	// WindowSec is the default severity-window width of live sessions
+	// in corrected seconds (default 1; a session can override it with
+	// ?window=).
+	WindowSec float64
+	// StreamTick is the live-session event publication period (default
+	// 250ms).
+	StreamTick time.Duration
 }
 
 // Server is the analysis service. Create it with New; it is ready to
@@ -105,13 +119,15 @@ type Server struct {
 	fw *flight.Writer
 	fn serveFlightNames
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // submission order, for the list endpoint
-	nextID   int64
-	queue    chan *job
-	draining bool
-	ewmaSec  float64 // exponentially weighted job duration, for Retry-After
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // submission order, for the list endpoint
+	sessions  map[string]*session
+	sessOrder []string // creation order, for the session list endpoint
+	nextID    int64
+	queue     chan *job
+	draining  bool
+	ewmaSec   float64 // exponentially weighted job duration, for Retry-After
 
 	wg sync.WaitGroup
 
@@ -140,13 +156,26 @@ func New(opts Options) *Server {
 	if opts.Scheme == 0 {
 		opts.Scheme = vclock.Hierarchical
 	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 8
+	}
+	if opts.SessionIdleTimeout == 0 {
+		opts.SessionIdleTimeout = 10 * time.Minute
+	}
+	if opts.WindowSec <= 0 {
+		opts.WindowSec = 1
+	}
+	if opts.StreamTick <= 0 {
+		opts.StreamTick = 250 * time.Millisecond
+	}
 	s := &Server{
-		opts:  opts,
-		rec:   obs.OrDefault(opts.Obs),
-		cache: NewLRU(opts.CacheEntries),
-		jobs:  make(map[string]*job),
-		queue: make(chan *job, opts.QueueDepth),
-		start: time.Now(),
+		opts:     opts,
+		rec:      obs.OrDefault(opts.Obs),
+		cache:    NewLRU(opts.CacheEntries),
+		jobs:     make(map[string]*job),
+		sessions: make(map[string]*session),
+		queue:    make(chan *job, opts.QueueDepth),
+		start:    time.Now(),
 	}
 	s.m = newServeMetrics(s.rec)
 	if opts.Flight {
@@ -166,6 +195,17 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/diff", s.handleDiff)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("PUT /v1/sessions/{id}/ranks/{mh}/{rank}", s.handleChunk)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/finalize", s.handleFinalize)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/live", s.handleLiveView)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleExperimentResult)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/profile", s.handleExperimentProfile)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/obs", s.handleDebugObs)
@@ -196,6 +236,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	close(s.queue)
 	s.mu.Unlock()
 	s.rec.Log.Info("draining: intake closed, waiting for accepted jobs")
+	// Live sessions cannot finish on their own (they wait for uploads
+	// that will never come once intake is closed), so abort them now;
+	// their reapers join s.wg and are waited for below.
+	s.drainSessions()
 
 	done := make(chan struct{})
 	go func() {
@@ -214,7 +258,7 @@ func (s *Server) Drain(ctx context.Context) error {
 					j.err = errDrainAborted.Error()
 					j.finished = time.Now()
 					close(j.done)
-					s.m.outcomes.With("cancelled").Inc()
+					s.m.outcomes.With("cancelled_queued").Inc()
 				}
 				j.cancel(errDrainAborted)
 			}
@@ -470,11 +514,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	switch j.state {
 	case StateQueued:
+		// The job never started: the worker drops it at dequeue. The
+		// distinct outcome label separates free cancellations (no work
+		// lost) from interrupted analyses.
 		j.state = StateCancelled
 		j.err = errJobCancelled.Error()
 		j.finished = time.Now()
 		close(j.done)
-		s.m.outcomes.With("cancelled").Inc()
+		s.m.outcomes.With("cancelled_queued").Inc()
 	case StateRunning:
 		// finish() classifies the unwound analysis as cancelled via the
 		// context cause.
@@ -606,6 +653,13 @@ type Health struct {
 	CacheEntries  int           `json:"cache_entries"`
 	Jobs          map[State]int `json:"jobs"`
 
+	// Live-session census: counts by state, the number of sessions not
+	// yet terminal, and the age of the oldest such session — the first
+	// thing to look at when sessions leak.
+	Sessions             map[string]int `json:"sessions"`
+	LiveSessions         int            `json:"live_sessions"`
+	OldestSessionSeconds float64        `json:"oldest_session_seconds"`
+
 	// Process vitals, so a bare healthz poll doubles as a first-line
 	// capacity check without scraping /metrics.
 	UptimeSeconds  float64 `json:"uptime_seconds"`
@@ -635,6 +689,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		HeapAllocBytes: ms.HeapAlloc,
 		Flight:         s.rec.Flight.Stats(),
 	}
+	h.Sessions, h.LiveSessions, h.OldestSessionSeconds = s.sessionCensus()
 	s.mu.Lock()
 	h.QueueDepth = len(s.queue)
 	for _, j := range s.jobs {
@@ -693,9 +748,11 @@ func (s *Server) setCacheRatio() {
 // serveMetrics is the pre-registered metric family set, so a snapshot
 // of an idle server already carries the full schema.
 type serveMetrics struct {
-	submitted *obs.Family // by submission source
-	rejected  *obs.Family // by rejection reason
-	outcomes  *obs.Family // by terminal outcome
+	submitted       *obs.Family // by submission source
+	rejected        *obs.Family // by rejection reason
+	outcomes        *obs.Family // by terminal outcome
+	sessionOutcomes *obs.Family // live sessions by terminal outcome
+	sessionsOpen    *obs.Series
 
 	queueDepth   *obs.Series
 	workersBusy  *obs.Series
@@ -716,6 +773,10 @@ func newServeMetrics(rec *obs.Recorder) *serveMetrics {
 			"submissions rejected before queueing, by reason", "reason"),
 		outcomes: r.Counter("metascope_serve_jobs_total",
 			"jobs reaching a terminal state, by outcome", "outcome"),
+		sessionOutcomes: r.Counter("metascope_serve_sessions_total",
+			"live sessions reaching a terminal state, by outcome", "outcome"),
+		sessionsOpen: r.Gauge("metascope_serve_sessions_open",
+			"live analysis sessions currently open").With(),
 		queueDepth: r.Gauge("metascope_serve_queue_depth",
 			"jobs waiting in the FIFO queue").With(),
 		workersBusy: r.Gauge("metascope_serve_workers_busy",

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"metascope/internal/replay"
+)
+
+// eventLog is the append-only, replayable event history of one live
+// session. Every StreamEvent the engine emits is marshaled once and
+// retained, so a consumer can join at any point, resume after a
+// disconnect from an arbitrary sequence number (SSE Last-Event-ID),
+// and never observe a gap or a duplicate — sequence numbers are
+// contiguous from 1.
+//
+// Broadcasting uses the closed-channel idiom: waiters select on the
+// current `changed` channel, and every append closes it and installs a
+// fresh one, waking all of them at once without tracking subscribers.
+type eventLog struct {
+	mu      sync.Mutex
+	events  []loggedEvent
+	changed chan struct{}
+	done    bool
+}
+
+type loggedEvent struct {
+	seq  uint64
+	typ  string
+	data json.RawMessage
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{changed: make(chan struct{})}
+}
+
+// append records one engine event. Marshal failures are impossible for
+// StreamEvent's field types; a defensive fallback records the error.
+func (el *eventLog) append(ev replay.StreamEvent) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		b = []byte(fmt.Sprintf(`{"seq":%d,"type":"error","error":%q}`, ev.Seq, err.Error()))
+	}
+	el.mu.Lock()
+	el.events = append(el.events, loggedEvent{seq: ev.Seq, typ: ev.Type, data: b})
+	close(el.changed)
+	el.changed = make(chan struct{})
+	el.mu.Unlock()
+}
+
+// markDone declares the stream complete: no further events will be
+// appended, and waiting consumers should finish their replay and hang
+// up.
+func (el *eventLog) markDone() {
+	el.mu.Lock()
+	if !el.done {
+		el.done = true
+		close(el.changed)
+		el.changed = make(chan struct{})
+	}
+	el.mu.Unlock()
+}
+
+// after returns the events with sequence number > n, the done flag,
+// and the channel that closes on the next change.
+func (el *eventLog) after(n uint64) ([]loggedEvent, bool, <-chan struct{}) {
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	// Sequence numbers are contiguous from 1, so the slice offset is
+	// min(n, len).
+	i := int(n)
+	if i > len(el.events) {
+		i = len(el.events)
+	}
+	return el.events[i:], el.done, el.changed
+}
+
+func (el *eventLog) len() uint64 {
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	return uint64(len(el.events))
+}
+
+// resumePoint parses the consumer's resume position: the SSE
+// Last-Event-ID header (set by every browser EventSource on
+// reconnect), overridden by an explicit ?after= query parameter.
+func resumePoint(r *http.Request) uint64 {
+	after := uint64(0)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			after = n
+		}
+	}
+	if v := r.URL.Query().Get("after"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			after = n
+		}
+	}
+	return after
+}
+
+// handleStream serves a session's event stream as Server-Sent Events:
+// one frame per engine event with the sequence number as the event id,
+// resuming after Last-Event-ID. A client that cannot stream (the
+// ResponseWriter is not flushable) gets the long-poll JSON answer
+// instead, so the endpoint degrades rather than hangs.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.pollEvents(w, r, sess)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	// Reconnect hint for EventSource clients: retry after 1 s; the
+	// event log makes the resume lossless.
+	fmt.Fprintf(w, "retry: 1000\n\n")
+	fl.Flush()
+
+	after := resumePoint(r)
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		evs, done, changed := sess.log.after(after)
+		for _, ev := range evs {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.seq, ev.typ, ev.data)
+			after = ev.seq
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if done && len(evs) == 0 {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-changed:
+		case <-heartbeat.C:
+			// Comment frame: keeps intermediaries from timing the
+			// connection out while the analysis frontier is quiet.
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+// eventBatch is the long-poll JSON answer: the events after the
+// client's position, the position to pass next, and whether the stream
+// has ended.
+type eventBatch struct {
+	Events []json.RawMessage `json:"events"`
+	Next   uint64            `json:"next"`
+	Done   bool              `json:"done"`
+}
+
+// handleEvents is the long-poll fallback for clients without SSE:
+// GET /v1/experiments/{id}/events?after=N&wait=5s returns the events
+// after position N, blocking up to `wait` when there are none yet.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	s.pollEvents(w, r, sess)
+}
+
+func (s *Server) pollEvents(w http.ResponseWriter, r *http.Request, sess *session) {
+	after := resumePoint(r)
+	deadline := time.Time{}
+	if v := r.URL.Query().Get("wait"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			deadline = time.Now().Add(d)
+		}
+	}
+	for {
+		evs, done, changed := sess.log.after(after)
+		if len(evs) > 0 || done || deadline.IsZero() || !time.Now().Before(deadline) {
+			batch := eventBatch{Events: make([]json.RawMessage, 0, len(evs)), Next: after, Done: done}
+			for _, ev := range evs {
+				batch.Events = append(batch.Events, ev.data)
+				batch.Next = ev.seq
+			}
+			writeJSON(w, http.StatusOK, batch)
+			return
+		}
+		wait := time.NewTimer(time.Until(deadline))
+		select {
+		case <-r.Context().Done():
+			wait.Stop()
+			return
+		case <-changed:
+			wait.Stop()
+		case <-wait.C:
+		}
+	}
+}
+
+// handleLiveView serves the self-contained HTML live dashboard: an
+// EventSource consumer of the session's stream rendering state,
+// frontier, per-rank ingest lag, and a per-metahost severity table
+// accumulated from window deltas. No external assets.
+func (s *Server) handleLiveView(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, liveViewHTML, sess.id, sess.id)
+}
+
+// liveViewHTML takes two %s verbs: the session id for the title and
+// for the stream URL.
+const liveViewHTML = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>metascope live — %s</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #1a2733; }
+h1 { font-size: 1.2rem; } code { background: #eef2f5; padding: 0 .3em; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #cfd8df; padding: .25rem .6rem; text-align: right; }
+th { background: #eef2f5; } td.l, th.l { text-align: left; }
+#state { font-weight: 600; }
+#state.running { color: #0a7a2f; } #state.failed { color: #b00020; }
+.bar { height: .5rem; background: #0a7a2f; min-width: 1px; }
+</style></head><body>
+<h1>metascope live session <code id="sid"></code> — <span id="state">connecting</span></h1>
+<p>frontier: <span id="frontier">–</span> s &middot; closed through window <span id="closed">–</span>
+ &middot; events <span id="nev">0</span></p>
+<h2>Ranks</h2><table id="ranks"><tr><th class="l">rank</th><th class="l">metahost</th>
+<th>events</th><th>bytes</th><th>ingested&nbsp;(s)</th><th class="l">done</th></tr></table>
+<h2>Severity by metric &times; metahost (cumulative seconds)</h2>
+<table id="sev"><tr><th class="l">metric</th><th class="l">metahost</th><th>total</th></tr></table>
+<script>
+document.getElementById("sid").textContent = %q;
+const sums = new Map(), state = document.getElementById("state");
+let nev = 0;
+const es = new EventSource("stream");
+es.addEventListener("state", e => {
+  const d = JSON.parse(e.data).state;
+  state.textContent = d.state + (d.error ? ": " + d.error : "");
+  state.className = d.state;
+  if (d.state === "done" || d.state === "failed") es.close();
+});
+es.addEventListener("frontier", e => {
+  const f = JSON.parse(e.data).frontier;
+  document.getElementById("frontier").textContent = f.progress_valid ? f.progress.toFixed(3) : "–";
+  document.getElementById("closed").textContent =
+    f.closed_through > -9e18 ? f.closed_through : "–";
+  const t = document.getElementById("ranks");
+  while (t.rows.length > 1) t.deleteRow(1);
+  for (const rk of f.ranks || []) {
+    const row = t.insertRow();
+    row.insertCell().textContent = rk.rank; row.cells[0].className = "l";
+    row.insertCell().textContent = rk.metahost || ""; row.cells[1].className = "l";
+    row.insertCell().textContent = rk.events;
+    row.insertCell().textContent = rk.bytes;
+    row.insertCell().textContent = rk.has_time ? rk.ingested.toFixed(3) : "–";
+    row.insertCell().textContent = rk.finished ? "yes" : ""; row.cells[5].className = "l";
+  }
+});
+es.addEventListener("window", e => {
+  for (const d of JSON.parse(e.data).window.deltas) {
+    const k = d.metric + "|" + d.metahost;
+    sums.set(k, (sums.get(k) || 0) + d.value);
+  }
+  const t = document.getElementById("sev");
+  while (t.rows.length > 1) t.deleteRow(1);
+  for (const k of [...sums.keys()].sort()) {
+    const [metric, mh] = k.split("|"), row = t.insertRow();
+    row.insertCell().textContent = metric; row.cells[0].className = "l";
+    row.insertCell().textContent = mh; row.cells[1].className = "l";
+    row.insertCell().textContent = sums.get(k).toFixed(6);
+  }
+});
+es.onmessage = () => {};
+es.addEventListener("summary", () => {});
+es.onerror = () => { if (state.textContent === "connecting") state.textContent = "disconnected"; };
+new MutationObserver(() => { nev++; document.getElementById("nev").textContent = nev; });
+setInterval(() => { document.getElementById("nev").textContent = nev; }, 500);
+es.onopen = () => { if (state.textContent === "connecting") state.textContent = "open"; };
+for (const t of ["state","frontier","window","summary"]) es.addEventListener(t, () => nev++);
+</script></body></html>
+`

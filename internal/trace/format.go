@@ -116,6 +116,13 @@ type decoder struct {
 	pos    int
 	err    error
 	intern *Interner
+	// streaming marks a chunked decode (ChunkDecoder): a declared count
+	// that exceeds the bytes buffered so far is not corruption — the
+	// missing bytes may simply not have arrived yet — so the bound check
+	// reports an io.ErrUnexpectedEOF-wrapped error the chunk decoder
+	// treats as "feed me more". The absolute caps still reject absurd
+	// headers outright.
+	streaming bool
 }
 
 func (d *decoder) remaining() int { return len(d.data) - d.pos }
@@ -215,8 +222,12 @@ func (d *decoder) checkCount(what string, n uint64, minBytes, cap int) bool {
 		return false
 	}
 	if int(n)*minBytes > d.remaining() {
-		d.err = fmt.Errorf("trace: declared %s count %d exceeds remaining input (%d bytes)",
-			what, n, d.remaining())
+		if d.streaming {
+			d.err = fmt.Errorf("trace: %s table incomplete: %w", what, io.ErrUnexpectedEOF)
+		} else {
+			d.err = fmt.Errorf("trace: declared %s count %d exceeds remaining input (%d bytes)",
+				what, n, d.remaining())
+		}
 		return false
 	}
 	return true
@@ -331,23 +342,62 @@ func DecodeBytes(data []byte) (*Trace, error) { return DecodeBytesInterned(data,
 // interner disables interning.
 func DecodeBytesInterned(data []byte, in *Interner) (*Trace, error) {
 	d := &decoder{data: data, intern: in}
+	t, ne, err := decodeHeader(d)
+	if err != nil {
+		return nil, err
+	}
+	if !d.checkCount("event", ne, minEventBytes, maxEventCount) {
+		return nil, d.err
+	}
+	t.Events = make([]Event, ne)
+	for i := range t.Events {
+		if err := decodeEvent(d, i, &t.Events[i]); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Minimum encoded sizes, used to bound every declared count against
+// the bytes actually present: a region is an id varint, a kind byte,
+// and a name-length varint; a communicator is an id varint and a
+// member-count varint; a rank is one varint; an event is a kind byte
+// and an 8-byte time stamp.
+const (
+	minRegionBytes = 3
+	minCommBytes   = 2
+	minRankBytes   = 1
+	minEventBytes  = 9
+
+	maxRegionCount = 1 << 20
+	maxCommCount   = 1 << 20
+	maxMemberCount = 1 << 24
+	maxEventCount  = 1 << 28
+)
+
+// decodeHeader decodes everything before the event stream — magic,
+// version, location, sync block, region table, communicator
+// definitions — plus the declared event count. Shared by the one-shot
+// decode above and by the resumable ChunkDecoder.
+func decodeHeader(d *decoder) (*Trace, uint64, error) {
+	data := d.data
 	if len(data) < len(magic) {
 		if len(data) == 0 {
-			return nil, fmt.Errorf("trace: reading magic: %w", io.EOF)
+			return nil, 0, fmt.Errorf("trace: reading magic: %w", io.EOF)
 		}
-		return nil, fmt.Errorf("trace: reading magic: %w", io.ErrUnexpectedEOF)
+		return nil, 0, fmt.Errorf("trace: reading magic: %w", io.ErrUnexpectedEOF)
 	}
 	var m [4]byte
 	copy(m[:], data)
 	d.pos = len(magic)
 	if m != magic {
-		return nil, ErrBadMagic
+		return nil, 0, ErrBadMagic
 	}
 	if v := d.byte(); v != formatVersion {
 		if d.err != nil {
-			return nil, d.err
+			return nil, 0, d.err
 		}
-		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", v, formatVersion)
+		return nil, 0, fmt.Errorf("trace: unsupported format version %d (want %d)", v, formatVersion)
 	}
 
 	t := &Trace{}
@@ -369,21 +419,9 @@ func DecodeBytesInterned(data []byte, in *Interner) (*Trace, error) {
 	s.MasterStart.Local, s.MasterStart.Offset, s.MasterStart.Err = read3()
 	s.MasterEnd.Local, s.MasterEnd.Offset, s.MasterEnd.Err = read3()
 
-	// Minimum encoded sizes, used to bound every declared count against
-	// the bytes actually present: a region is an id varint, a kind byte,
-	// and a name-length varint; a communicator is an id varint and a
-	// member-count varint; a rank is one varint; an event is a kind byte
-	// and an 8-byte time stamp.
-	const (
-		minRegionBytes = 3
-		minCommBytes   = 2
-		minRankBytes   = 1
-		minEventBytes  = 9
-	)
-
 	nr := d.u64()
-	if !d.checkCount("region", nr, minRegionBytes, 1<<20) {
-		return nil, d.err
+	if !d.checkCount("region", nr, minRegionBytes, maxRegionCount) {
+		return nil, 0, d.err
 	}
 	t.Regions = make([]Region, nr)
 	for i := range t.Regions {
@@ -393,15 +431,15 @@ func DecodeBytesInterned(data []byte, in *Interner) (*Trace, error) {
 	}
 
 	nc := d.u64()
-	if !d.checkCount("communicator", nc, minCommBytes, 1<<20) {
-		return nil, d.err
+	if !d.checkCount("communicator", nc, minCommBytes, maxCommCount) {
+		return nil, 0, d.err
 	}
 	t.Comms = make([]CommDef, nc)
 	for i := range t.Comms {
 		t.Comms[i].ID = int32(d.i64())
 		nm := d.u64()
-		if !d.checkCount("communicator member", nm, minRankBytes, 1<<24) {
-			return nil, d.err
+		if !d.checkCount("communicator member", nm, minRankBytes, maxMemberCount) {
+			return nil, 0, d.err
 		}
 		t.Comms[i].Ranks = make([]int32, nm)
 		for j := range t.Comms[i].Ranks {
@@ -410,36 +448,34 @@ func DecodeBytesInterned(data []byte, in *Interner) (*Trace, error) {
 	}
 
 	ne := d.u64()
-	if !d.checkCount("event", ne, minEventBytes, 1<<28) {
-		return nil, d.err
-	}
-	t.Events = make([]Event, ne)
-	for i := range t.Events {
-		ev := &t.Events[i]
-		ev.Kind = EventKind(d.byte())
-		ev.Time = d.f64()
-		switch ev.Kind {
-		case KindEnter, KindExit:
-			ev.Region = RegionID(d.u64())
-		case KindSend, KindRecv:
-			ev.Comm = int32(d.i64())
-			ev.Peer = int32(d.i64())
-			ev.Tag = int32(d.i64())
-			ev.Bytes = d.i64()
-		case KindCollExit:
-			ev.Comm = int32(d.i64())
-			ev.Coll = CollOp(d.byte())
-			ev.Root = int32(d.i64())
-			ev.Bytes = d.i64()
-		default:
-			if d.err != nil {
-				return nil, d.err
-			}
-			return nil, fmt.Errorf("trace: event %d has invalid kind %d", i, ev.Kind)
-		}
-	}
 	if d.err != nil {
-		return nil, d.err
+		return nil, 0, d.err
 	}
-	return t, nil
+	return t, ne, nil
+}
+
+// decodeEvent decodes the i-th event of the stream into ev.
+func decodeEvent(d *decoder, i int, ev *Event) error {
+	ev.Kind = EventKind(d.byte())
+	ev.Time = d.f64()
+	switch ev.Kind {
+	case KindEnter, KindExit:
+		ev.Region = RegionID(d.u64())
+	case KindSend, KindRecv:
+		ev.Comm = int32(d.i64())
+		ev.Peer = int32(d.i64())
+		ev.Tag = int32(d.i64())
+		ev.Bytes = d.i64()
+	case KindCollExit:
+		ev.Comm = int32(d.i64())
+		ev.Coll = CollOp(d.byte())
+		ev.Root = int32(d.i64())
+		ev.Bytes = d.i64()
+	default:
+		if d.err != nil {
+			return d.err
+		}
+		return fmt.Errorf("trace: event %d has invalid kind %d", i, ev.Kind)
+	}
+	return d.err
 }

@@ -1,0 +1,111 @@
+package vclock
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FlatCorrection builds the correction map for one rank under a flat
+// scheme from its own measurements against the global master: the
+// single start offset for FlatSingle, the start/end interpolation for
+// FlatInterp. It is the per-rank core of BuildFlat, exposed so a live
+// session can construct each rank's correction the moment that rank's
+// sync block arrives, without waiting for the rest of the archive.
+func FlatCorrection(scheme Scheme, start, end Measurement) (LinearMap, error) {
+	switch scheme {
+	case FlatSingle:
+		return SingleOffsetMap(start.Offset), nil
+	case FlatInterp:
+		return InterpMap(start.Local, start.Offset, end.Local, end.Offset), nil
+	default:
+		return LinearMap{}, errors.New("vclock: FlatCorrection cannot build hierarchical corrections; use HierarchicalCorrection")
+	}
+}
+
+// HierarchicalCorrection composes one rank's slave→local-master
+// interpolation with its local master's →metamaster interpolation —
+// the per-rank core of BuildHierarchical. Like FlatCorrection, every
+// input is rank-local, so the map is available as soon as that rank's
+// header has been ingested.
+func HierarchicalCorrection(in HierarchicalInput) LinearMap {
+	toLocal := Identity()
+	if !in.SharedNodeClock {
+		toLocal = InterpMap(in.SlaveStart.Local, in.SlaveStart.Offset,
+			in.SlaveEnd.Local, in.SlaveEnd.Offset)
+	}
+	toMeta := InterpMap(in.MasterStart.Local, in.MasterStart.Offset,
+		in.MasterEnd.Local, in.MasterEnd.Offset)
+	return toMeta.Compose(toLocal)
+}
+
+// Builder accumulates per-rank corrections as rank headers arrive in
+// arbitrary order, for a world of known size. All three schemes derive
+// each rank's map from that rank's own sync block alone, which is what
+// makes incremental synchronization over a prefix of the archive
+// sound: a correction never changes once set.
+type Builder struct {
+	scheme Scheme
+	maps   []LinearMap
+	have   []bool
+	n      int
+}
+
+// NewBuilder returns a Builder for a world of n ranks.
+func NewBuilder(scheme Scheme, n int) *Builder {
+	return &Builder{scheme: scheme, maps: make([]LinearMap, n), have: make([]bool, n)}
+}
+
+// Set records rank's correction map. Re-setting a rank to the same map
+// is idempotent (chunked-upload retries); a different map is an error.
+func (b *Builder) Set(rank int, m LinearMap) error {
+	if rank < 0 || rank >= len(b.maps) {
+		return fmt.Errorf("vclock: correction for rank %d outside world of %d", rank, len(b.maps))
+	}
+	if b.have[rank] {
+		if b.maps[rank] != m {
+			return fmt.Errorf("vclock: conflicting corrections for rank %d", rank)
+		}
+		return nil
+	}
+	b.maps[rank] = m
+	b.have[rank] = true
+	b.n++
+	return nil
+}
+
+// Have reports whether rank's correction has been set.
+func (b *Builder) Have(rank int) bool {
+	return rank >= 0 && rank < len(b.have) && b.have[rank]
+}
+
+// Map returns rank's correction map (the identity if not yet set).
+func (b *Builder) Map(rank int) LinearMap {
+	if !b.Have(rank) {
+		return Identity()
+	}
+	return b.maps[rank]
+}
+
+// Complete reports whether every rank's correction has been set.
+func (b *Builder) Complete() bool { return b.n == len(b.maps) }
+
+// Corrections returns the full correction set in rank order, or an
+// error naming the first missing rank.
+func (b *Builder) Corrections() ([]Correction, error) {
+	if !b.Complete() {
+		for r, ok := range b.have {
+			if !ok {
+				return nil, fmt.Errorf("vclock: no correction for rank %d (%d of %d set)",
+					r, b.n, len(b.maps))
+			}
+		}
+	}
+	out := make([]Correction, len(b.maps))
+	for r, m := range b.maps {
+		out[r] = Correction{Rank: r, Map: m}
+	}
+	return out, nil
+}
+
+// Scheme returns the scheme the builder was created for.
+func (b *Builder) Scheme() Scheme { return b.scheme }

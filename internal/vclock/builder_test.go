@@ -1,0 +1,106 @@
+package vclock
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderMatchesBuildFlat(t *testing.T) {
+	start := []Measurement{{Local: 1, Offset: 0.5}, {Local: 1.1, Offset: -0.2}, {Local: 0.9, Offset: 0}}
+	end := []Measurement{{Local: 99, Offset: 0.52}, {Local: 99.1, Offset: -0.23}, {Local: 98.9, Offset: 0}}
+	for _, scheme := range []Scheme{FlatSingle, FlatInterp} {
+		want, err := BuildFlat(scheme, start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewBuilder(scheme, len(start))
+		// Set out of order: corrections are rank-local, order must not matter.
+		for _, r := range []int{2, 0, 1} {
+			m, err := FlatCorrection(scheme, start[r], end[r])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Set(r, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !b.Complete() {
+			t.Fatalf("%v: builder incomplete after all ranks set", scheme)
+		}
+		got, err := b.Corrections()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("%v rank %d: incremental %+v != batch %+v", scheme, r, got[r], want[r])
+			}
+		}
+	}
+}
+
+func TestBuilderMatchesBuildHierarchical(t *testing.T) {
+	inputs := []HierarchicalInput{
+		{Rank: 0, MasterStart: Measurement{Local: 1, Offset: 0}, MasterEnd: Measurement{Local: 99, Offset: 0}, SharedNodeClock: true},
+		{Rank: 1,
+			SlaveStart: Measurement{Local: 1.2, Offset: 0.01}, SlaveEnd: Measurement{Local: 99.2, Offset: 0.012},
+			MasterStart: Measurement{Local: 1, Offset: -0.5}, MasterEnd: Measurement{Local: 99, Offset: -0.49}},
+	}
+	want := BuildHierarchical(inputs)
+	b := NewBuilder(Hierarchical, len(inputs))
+	for i := len(inputs) - 1; i >= 0; i-- {
+		if err := b.Set(inputs[i].Rank, HierarchicalCorrection(inputs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := b.Corrections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range want {
+		if got[r] != want[r] {
+			t.Fatalf("rank %d: incremental %+v != batch %+v", r, got[r], want[r])
+		}
+	}
+}
+
+func TestBuilderIdempotentAndConflicts(t *testing.T) {
+	b := NewBuilder(FlatInterp, 2)
+	m := SingleOffsetMap(0.5)
+	if err := b.Set(0, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set(0, m); err != nil { // retry of the same chunk
+		t.Fatalf("idempotent re-set failed: %v", err)
+	}
+	if err := b.Set(0, SingleOffsetMap(0.6)); err == nil {
+		t.Fatal("conflicting re-set accepted")
+	}
+	if err := b.Set(5, m); err == nil {
+		t.Fatal("out-of-world rank accepted")
+	}
+	if b.Complete() {
+		t.Fatal("Complete with rank 1 missing")
+	}
+	if _, err := b.Corrections(); err == nil || !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("Corrections err = %v, want missing rank 1", err)
+	}
+	if !b.Have(0) || b.Have(1) {
+		t.Fatal("Have mismatch")
+	}
+	if b.Map(1) != Identity() {
+		t.Fatal("Map of unset rank is not identity")
+	}
+	if err := b.Set(1, m); err != nil {
+		t.Fatal(err)
+	}
+	if cs, err := b.Corrections(); err != nil || len(cs) != 2 {
+		t.Fatalf("Corrections = (%v, %v)", cs, err)
+	}
+}
+
+func TestFlatCorrectionRejectsHierarchical(t *testing.T) {
+	if _, err := FlatCorrection(Hierarchical, Measurement{}, Measurement{}); err == nil {
+		t.Fatal("FlatCorrection accepted Hierarchical")
+	}
+}

@@ -172,11 +172,13 @@ func BuildFlat(scheme Scheme, start, end []Measurement) ([]Correction, error) {
 	}
 	out := make([]Correction, len(start))
 	for r := range start {
-		var m LinearMap
-		if scheme == FlatSingle {
-			m = SingleOffsetMap(start[r].Offset)
-		} else {
-			m = InterpMap(start[r].Local, start[r].Offset, end[r].Local, end[r].Offset)
+		var e Measurement
+		if scheme == FlatInterp {
+			e = end[r]
+		}
+		m, err := FlatCorrection(scheme, start[r], e)
+		if err != nil {
+			return nil, err
 		}
 		out[r] = Correction{Rank: r, Map: m}
 	}
@@ -208,14 +210,7 @@ type HierarchicalInput struct {
 func BuildHierarchical(inputs []HierarchicalInput) []Correction {
 	out := make([]Correction, len(inputs))
 	for i, in := range inputs {
-		toLocal := Identity()
-		if !in.SharedNodeClock {
-			toLocal = InterpMap(in.SlaveStart.Local, in.SlaveStart.Offset,
-				in.SlaveEnd.Local, in.SlaveEnd.Offset)
-		}
-		toMeta := InterpMap(in.MasterStart.Local, in.MasterStart.Offset,
-			in.MasterEnd.Local, in.MasterEnd.Offset)
-		out[i] = Correction{Rank: in.Rank, Map: toMeta.Compose(toLocal)}
+		out[i] = Correction{Rank: in.Rank, Map: HierarchicalCorrection(in)}
 	}
 	return out
 }

@@ -64,6 +64,16 @@ if ! echo "$out" | grep 'BenchmarkFlightDisabled' | grep -q '\b0 allocs/op'; the
 	exit 1
 fi
 
+# Streaming determinism smoke: one conformance scenario fed chunk by
+# chunk through a live session must produce byte-identical cube and
+# profile artifacts to the post-mortem analysis of the same trace
+# bytes. The full adversarial-chunking matrix runs as
+# TestStreamingOracle in the regular suite; this pins the
+# streaming-vs-postmortem contract by name so a determinism regression
+# fails the gate with an unambiguous label.
+echo "== streaming-vs-postmortem determinism smoke"
+go test -race -count=1 -run 'TestStreamingDeterminismSmoke' ./internal/conformance
+
 # The dogfood loop: analyze an experiment with the recorder on, export
 # the recording as a trace archive, and analyze THAT with the same
 # pipeline. Proves the self-instrumentation stays a valid input to the
