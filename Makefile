@@ -13,8 +13,10 @@ soak: ## minutes-long analysis-service soak under -race (the seconds-long tier r
 	METASCOPE_SOAK_SECONDS=$(or $(SOAK_SECONDS),60) go test -race -count=1 -v -run 'TestServeSoak' ./internal/serve
 
 FUZZTIME ?= 10s
-fuzz: ## coverage-guided fuzzing of the trace decoder (seed corpus alone runs in plain `go test`); FUZZTIME=5m for a long local run
-	go test ./internal/trace -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+fuzz: ## coverage-guided fuzzing of both trace decoders (seed corpora alone run in plain `go test`); FUZZTIME=5m for a long local run
+	go test ./internal/trace -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime $(FUZZTIME)
+	go test ./internal/trace -run '^$$' -fuzz 'FuzzDecodeV2$$' -fuzztime $(FUZZTIME)
+	go test ./internal/trace -run '^$$' -fuzz 'FuzzDecodeDifferential$$' -fuzztime $(FUZZTIME)
 
 build:
 	go build ./...

@@ -9,19 +9,31 @@ import (
 
 	"metascope/internal/conformance"
 	"metascope/internal/pattern"
+	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
 
+// goldenFormats drives every golden test over both trace encodings:
+// the rendered output must match the SAME golden file regardless of
+// which on-disk format the archive used.
+func goldenFormats(t *testing.T, f func(t *testing.T, tf trace.Format)) {
+	for _, tf := range []trace.Format{trace.FormatV1, trace.FormatV2} {
+		tf := tf
+		t.Run(tf.String(), func(t *testing.T) { f(t, tf) })
+	}
+}
+
 // fixtureCube runs a deterministic conformance scenario and writes its
 // analysis report, giving the golden tests a real cube produced by the
 // full pipeline rather than a hand-built fake.
-func fixtureCube(t *testing.T) (cubePath, profilePath string) {
+func fixtureCube(t *testing.T, tf trace.Format) (cubePath, profilePath string) {
 	t.Helper()
 	s := conformance.Scenario{
 		Name: "golden", Base: pattern.WaitBarrier,
 		Delays: []float64{0.05, 0.17, 0.08, 0.26}, Align: 1.0,
+		Format: tf,
 	}
 	rr, err := conformance.RunScenario(s, 1, vclock.Hierarchical)
 	if err != nil {
@@ -70,44 +82,52 @@ func checkGolden(t *testing.T, name string, got []byte) {
 }
 
 func TestGoldenMetricTree(t *testing.T) {
-	cube, _ := fixtureCube(t)
-	var buf bytes.Buffer
-	if err := run(nil, options{}, []string{cube}, &buf); err != nil {
-		t.Fatal(err)
-	}
-	checkGolden(t, "metric-tree.golden", buf.Bytes())
+	goldenFormats(t, func(t *testing.T, tf trace.Format) {
+		cube, _ := fixtureCube(t, tf)
+		var buf bytes.Buffer
+		if err := run(nil, options{}, []string{cube}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "metric-tree.golden", buf.Bytes())
+	})
 }
 
 func TestGoldenMetricList(t *testing.T) {
-	cube, _ := fixtureCube(t)
-	var buf bytes.Buffer
-	if err := run(nil, options{list: true}, []string{cube}, &buf); err != nil {
-		t.Fatal(err)
-	}
-	checkGolden(t, "metric-list.golden", buf.Bytes())
+	goldenFormats(t, func(t *testing.T, tf trace.Format) {
+		cube, _ := fixtureCube(t, tf)
+		var buf bytes.Buffer
+		if err := run(nil, options{list: true}, []string{cube}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "metric-list.golden", buf.Bytes())
+	})
 }
 
 func TestGoldenFigure(t *testing.T) {
-	cube, _ := fixtureCube(t)
-	var buf bytes.Buffer
-	if err := run(nil, options{metric: pattern.KeyWaitBarrier}, []string{cube}, &buf); err != nil {
-		t.Fatal(err)
-	}
-	checkGolden(t, "figure.golden", buf.Bytes())
+	goldenFormats(t, func(t *testing.T, tf trace.Format) {
+		cube, _ := fixtureCube(t, tf)
+		var buf bytes.Buffer
+		if err := run(nil, options{metric: pattern.KeyWaitBarrier}, []string{cube}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "figure.golden", buf.Bytes())
+	})
 }
 
 func TestGoldenHTML(t *testing.T) {
-	cube, profile := fixtureCube(t)
-	htmlOut := filepath.Join(t.TempDir(), "report.html")
-	var buf bytes.Buffer
-	if err := run(nil, options{htmlOut: htmlOut, profileIn: profile}, []string{cube}, &buf); err != nil {
-		t.Fatal(err)
-	}
-	got, err := os.ReadFile(htmlOut)
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkGolden(t, "report.html.golden", got)
+	goldenFormats(t, func(t *testing.T, tf trace.Format) {
+		cube, profile := fixtureCube(t, tf)
+		htmlOut := filepath.Join(t.TempDir(), "report.html")
+		var buf bytes.Buffer
+		if err := run(nil, options{htmlOut: htmlOut, profileIn: profile}, []string{cube}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(htmlOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "report.html.golden", got)
+	})
 }
 
 func TestRunRejectsBadUsage(t *testing.T) {

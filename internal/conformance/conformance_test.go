@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"metascope/internal/pattern"
+	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
 
@@ -60,52 +61,60 @@ func oracleSeeds(t *testing.T) []int64 {
 	return seeds
 }
 
-// TestOracle is the tentpole assertion: for every pattern variant the
-// full pipeline — simulated run, archive, synchronization, replay,
-// pattern search, cube — recovers the planted closed-form severities.
-// The interpolation schemes must be exact on the deterministic testbed;
-// FlatSingle must stay within its analytically derived drift bound.
+// TestOracle is the tentpole assertion: for every pattern variant and
+// both trace encodings the full pipeline — simulated run, archive,
+// synchronization, replay, pattern search, cube — recovers the planted
+// closed-form severities. The interpolation schemes must be exact on
+// the deterministic testbed; FlatSingle must stay within its
+// analytically derived drift bound.
 func TestOracle(t *testing.T) {
 	for _, s := range oracleScenarios() {
-		s := s
-		t.Run(s.Name, func(t *testing.T) {
-			t.Parallel()
-			for _, seed := range oracleSeeds(t) {
-				rr, err := RunScenario(s, seed,
-					vclock.FlatSingle, vclock.FlatInterp, vclock.Hierarchical)
-				if err != nil {
-					t.Fatalf("seed %d: %v", seed, err)
-				}
-				for _, sch := range []vclock.Scheme{vclock.FlatInterp, vclock.Hierarchical} {
-					res := rr.Results[sch]
-					for _, mm := range CheckOracle(res.Report, s, rr.Scale, ExactTol) {
-						t.Errorf("seed %d %v: %v", seed, sch, mm)
-					}
-					if res.Violations != 0 {
-						t.Errorf("seed %d %v: %d clock-condition violations on the exact testbed",
-							seed, sch, res.Violations)
-					}
-					// The time-resolved profile is built from the same
-					// pattern instances; its total mass under the planted
-					// key must match the planted total regardless of which
-					// rank each instance is attributed to.
-					wantTotal := 0.0
-					for _, w := range s.Expected() {
-						wantTotal += w * rr.Scale
-					}
-					got := res.Profile.SeriesTotal(s.PlantedKey(), -1)
-					if math.Abs(got-wantTotal) > ExactTol.For(wantTotal) {
-						t.Errorf("seed %d %v: profile mass under %s = %.9g, want %.9g",
-							seed, sch, s.PlantedKey(), got, wantTotal)
-					}
-				}
-				res := rr.Results[vclock.FlatSingle]
-				tol := FlatSingleTol(rr.Exp, s.Horizon())
-				for _, mm := range CheckOracle(res.Report, s, rr.Scale, tol) {
-					t.Errorf("seed %d %v: %v", seed, vclock.FlatSingle, mm)
-				}
+		for _, f := range []trace.Format{trace.FormatV1, trace.FormatV2} {
+			s := s
+			s.Format = f
+			t.Run(s.Name+"/"+f.String(), func(t *testing.T) {
+				t.Parallel()
+				testOracleScenario(t, s)
+			})
+		}
+	}
+}
+
+func testOracleScenario(t *testing.T, s Scenario) {
+	for _, seed := range oracleSeeds(t) {
+		rr, err := RunScenario(s, seed,
+			vclock.FlatSingle, vclock.FlatInterp, vclock.Hierarchical)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, sch := range []vclock.Scheme{vclock.FlatInterp, vclock.Hierarchical} {
+			res := rr.Results[sch]
+			for _, mm := range CheckOracle(res.Report, s, rr.Scale, ExactTol) {
+				t.Errorf("seed %d %v: %v", seed, sch, mm)
 			}
-		})
+			if res.Violations != 0 {
+				t.Errorf("seed %d %v: %d clock-condition violations on the exact testbed",
+					seed, sch, res.Violations)
+			}
+			// The time-resolved profile is built from the same
+			// pattern instances; its total mass under the planted
+			// key must match the planted total regardless of which
+			// rank each instance is attributed to.
+			wantTotal := 0.0
+			for _, w := range s.Expected() {
+				wantTotal += w * rr.Scale
+			}
+			got := res.Profile.SeriesTotal(s.PlantedKey(), -1)
+			if math.Abs(got-wantTotal) > ExactTol.For(wantTotal) {
+				t.Errorf("seed %d %v: profile mass under %s = %.9g, want %.9g",
+					seed, sch, s.PlantedKey(), got, wantTotal)
+			}
+		}
+		res := rr.Results[vclock.FlatSingle]
+		tol := FlatSingleTol(rr.Exp, s.Horizon())
+		for _, mm := range CheckOracle(res.Report, s, rr.Scale, tol) {
+			t.Errorf("seed %d %v: %v", seed, vclock.FlatSingle, mm)
+		}
 	}
 }
 

@@ -19,14 +19,14 @@ type feedStep struct {
 	chunk []byte
 }
 
-// encodeRanks renders each trace to its wire bytes — what a measured
-// process would upload to a live session.
-func encodeRanks(t *testing.T, traces []*trace.Trace) [][]byte {
+// encodeRanks renders each trace to its wire bytes in the given format
+// — what a measured process would upload to a live session.
+func encodeRanks(t *testing.T, traces []*trace.Trace, f trace.Format) [][]byte {
 	t.Helper()
 	out := make([][]byte, len(traces))
 	for i, tr := range traces {
 		var buf bytes.Buffer
-		if err := tr.Encode(&buf); err != nil {
+		if err := tr.EncodeFormat(&buf, f); err != nil {
 			t.Fatal(err)
 		}
 		out[i] = buf.Bytes()
@@ -179,7 +179,10 @@ func TestStreamingOracle(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			blobs := encodeRanks(t, traces)
+			// The adversarial chunking matrix streams the default (v2)
+			// encoding; one extra plan re-streams the same events as v1
+			// to prove the two wire formats replay identically.
+			blobs := encodeRanks(t, traces, trace.FormatV2)
 			cfg := replay.Config{Scheme: vclock.Hierarchical, Title: "stream-" + s.Name}
 			postTraces, err := e.Traces() // fresh copy: analysis must not see shared state
 			if err != nil {
@@ -205,7 +208,9 @@ func TestStreamingOracle(t *testing.T) {
 				wantByMH[int(tr.Loc.Metahost)] += post.Report.RankMetricTotal(baseKey, r)
 			}
 
-			for name, plan := range chunkPlans(blobs) {
+			plans := chunkPlans(blobs)
+			plans["v1-round-robin-small"] = chunkPlans(encodeRanks(t, traces, trace.FormatV1))["round-robin-small"]
+			for name, plan := range plans {
 				name, plan := name, plan
 				t.Run(name, func(t *testing.T) {
 					res, events := streamPlan(t, cfg, len(blobs), plan)
@@ -290,7 +295,7 @@ func TestStreamingDeterminismSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blobs := encodeRanks(t, traces)
+	blobs := encodeRanks(t, traces, trace.FormatDefault)
 	cfg := replay.Config{Scheme: vclock.Hierarchical, Title: "stream-smoke"}
 	postTraces, err := e.Traces()
 	if err != nil {

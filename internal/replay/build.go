@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"metascope/internal/cube"
 	"metascope/internal/obs/flight"
@@ -51,10 +52,10 @@ func (a *analyzer) result() (*Result, error) {
 	// artifacts byte-identical. Each rank's deferred sample log is
 	// replayed into a per-rank accumulator (reproducing the exact Add
 	// sequence the worker performed) and merged in rank order, then the
-	// sequential post-passes below feed the remaining point-to-point
-	// wait series — so the bucket sums are reproducible bit-for-bit
-	// regardless of goroutine scheduling or chunking.
-	profCfg := profileConfig(a.traces, a.corr, a.cfg)
+	// post-passes below feed the remaining point-to-point wait series —
+	// so the bucket sums are reproducible bit-for-bit regardless of
+	// goroutine scheduling or chunking.
+	profCfg := profileConfig(a.logs, a.corr, a.cfg)
 	prof := profile.NewAccumulator(profCfg)
 	for _, t := range a.traces {
 		prof.SetMetahostName(t.Loc.Metahost, t.Loc.MetahostName)
@@ -81,33 +82,46 @@ func (a *analyzer) result() (*Result, error) {
 	// classification is also when the late-sender family's profile
 	// series are fed: only here is the pattern identity of an instance
 	// known.
-	if pw := a.fl.Writer(flight.PostPassActor); pw != nil {
-		pw.Emit(flight.SpanBegin, a.flJob, a.fn.postpass, 0, 0)
-		defer pw.Emit(flight.SpanEnd, a.flJob, a.fn.postpass, 0, 0)
-	}
-	for _, rr := range a.results {
-		myMH := a.traces[rr.rank].Loc.Metahost
-		n := len(rr.recvLog)
-		minFuture := make([]float64, n+1)
-		minFuture[n] = math.Inf(1)
-		for i := n - 1; i >= 0; i-- {
-			minFuture[i] = math.Min(minFuture[i+1], rr.recvLog[i].sendEvent)
+	//
+	// The pass runs per rank in parallel: each rank's receive log only
+	// touches that rank's own call-path accumulators, and the profile
+	// deposits target keys that carry the rank — so per-rank profile
+	// accumulators merged in rank order reproduce the sequential
+	// addition sequence bit-for-bit (Merge folds whole series onto
+	// fresh, zero-valued destinations; 0+x is exact). The sequential
+	// loop is kept behind Config.SequentialPostPass as the reference
+	// the determinism tests compare against.
+	if a.cfg.SequentialPostPass || len(a.results) <= 1 {
+		if pw := a.fl.Writer(flight.PostPassActor); pw != nil {
+			pw.Emit(flight.SpanBegin, a.flJob, a.fn.postpass, 0, 0)
+			defer pw.Emit(flight.SpanEnd, a.flJob, a.fn.postpass, 0, 0)
 		}
-		for i, ri := range rr.recvLog {
-			if ri.lsWait <= 0 {
-				continue
-			}
-			pat := pattern.LateSender
-			switch {
-			case ri.grid:
-				pat = pattern.GridLateSender
-				rr.acc[ri.cp].addPair(pat, myMH, ri.srcMH, ri.lsWait)
-			case pattern.WrongOrderCandidate(ri.lsWait, ri.sendEvent, minFuture[i+1], ri.recvEnter):
-				pat = pattern.WrongOrder
-			}
-			rr.acc[ri.cp].waits[pat] += ri.lsWait
-			prof.Add(profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank},
-				ri.recvEnter, ri.lsWait, ri.lsWait)
+		for _, rr := range a.results {
+			a.postPassRank(rr, prof)
+		}
+	} else {
+		rankProfs := make([]*profile.Accumulator, len(a.results))
+		var wg sync.WaitGroup
+		for idx, rr := range a.results {
+			wg.Add(1)
+			go func(idx int, rr *rankResult) {
+				defer wg.Done()
+				if fw := a.fl.Writer(int32(rr.rank)); fw != nil {
+					fw.Emit(flight.SpanBegin, a.flJob, a.fn.postpass, 0, 0)
+					defer fw.Emit(flight.SpanEnd, a.flJob, a.fn.postpass, 0, 0)
+				}
+				rp := profile.NewAccumulator(profCfg)
+				a.postPassRank(rr, rp)
+				rankProfs[idx] = rp
+			}(idx, rr)
+		}
+		wg.Wait()
+		if pw := a.fl.Writer(flight.PostPassActor); pw != nil {
+			pw.Emit(flight.SpanBegin, a.flJob, a.fn.postmerge, 0, 0)
+			defer pw.Emit(flight.SpanEnd, a.flJob, a.fn.postmerge, 0, 0)
+		}
+		for _, rp := range rankProfs {
+			prof.Merge(rp)
 		}
 	}
 
@@ -152,6 +166,38 @@ func (a *analyzer) result() (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// postPassRank classifies one rank's receive log — the suffix-minimum
+// wrong-order test — updating the rank's own call-path accumulators
+// and depositing the late-sender-family profile samples into dst. The
+// deposits are in receive order and every key carries this rank, so
+// running ranks concurrently into per-rank accumulators and merging in
+// rank order equals the sequential interleave exactly.
+func (a *analyzer) postPassRank(rr *rankResult, dst *profile.Accumulator) {
+	myMH := a.traces[rr.rank].Loc.Metahost
+	n := len(rr.recvLog)
+	minFuture := make([]float64, n+1)
+	minFuture[n] = math.Inf(1)
+	for i := n - 1; i >= 0; i-- {
+		minFuture[i] = math.Min(minFuture[i+1], rr.recvLog[i].sendEvent)
+	}
+	for i, ri := range rr.recvLog {
+		if ri.lsWait <= 0 {
+			continue
+		}
+		pat := pattern.LateSender
+		switch {
+		case ri.grid:
+			pat = pattern.GridLateSender
+			rr.acc[ri.cp].addPair(pat, myMH, ri.srcMH, ri.lsWait)
+		case pattern.WrongOrderCandidate(ri.lsWait, ri.sendEvent, minFuture[i+1], ri.recvEnter):
+			pat = pattern.WrongOrder
+		}
+		rr.acc[ri.cp].waits[pat] += ri.lsWait
+		dst.Add(profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank},
+			ri.recvEnter, ri.lsWait, ri.lsWait)
+	}
 }
 
 // metricSlot caches the report indices of all metrics.

@@ -51,6 +51,15 @@ type LiveConfig struct {
 	// engine's goroutines. The callback must be fast and must not call
 	// back into the Live session.
 	OnEvent func(StreamEvent)
+	// WindowBudget is an advisory per-rank resident-event target for
+	// flow control. The engine always releases swept event blocks (its
+	// memory is bounded by the gap between ingest and sweep, not the
+	// archive size), but it never blocks FeedChunk — a hard limit could
+	// deadlock when a message match needs events further ahead than the
+	// budget allows. Feeders that want a pinned ceiling throttle
+	// themselves by polling Resident against this budget. Zero means
+	// unreported.
+	WindowBudget int
 }
 
 // StreamEvent is one event of a live session's output stream. Exactly
@@ -228,6 +237,10 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	}
 	for i := range l.ranks {
 		l.ranks[i] = &liveRank{dec: trace.NewChunkDecoder(l.intern), log: newRankLog()}
+		// The rank log holds the only copy of the events the sweep still
+		// needs; accumulating a second, never-released copy on the
+		// decoder's Trace would defeat the bounded window.
+		l.ranks[i].dec.DiscardEvents = true
 	}
 	l.emit(StreamEvent{Type: "state", State: &StateEvent{State: "open"}})
 	return l, nil
@@ -652,6 +665,17 @@ func (l *Live) emit(ev StreamEvent) {
 	l.m.emits.With(ev.Type).Inc()
 }
 
+// Resident reports one rank's bounded-memory window: the events
+// currently held in its log (ingested but not yet swept past and
+// released) and the session-lifetime peak. Feeders running ahead of
+// the sweep use it to throttle against LiveConfig.WindowBudget.
+func (l *Live) Resident(rank int) (resident, peak int) {
+	if rank < 0 || rank >= len(l.ranks) {
+		return 0, 0
+	}
+	return l.ranks[rank].log.residentEvents()
+}
+
 // LiveStatus is a point-in-time view of a session for vitals and the
 // session GET endpoint.
 type LiveStatus struct {
@@ -661,6 +685,10 @@ type LiveStatus struct {
 	RanksFinished  int    `json:"ranks_finished"`
 	BytesIngested  int64  `json:"bytes_ingested"`
 	EventsIngested int64  `json:"events_ingested"`
+	// ResidentEvents sums the ranks' currently held (ingested, not yet
+	// swept-and-released) events; MaxResidentEvents sums their peaks.
+	ResidentEvents    int `json:"resident_events"`
+	MaxResidentEvents int `json:"max_resident_events"`
 }
 
 // Status reports the session's current state.
@@ -671,6 +699,9 @@ func (l *Live) Status() LiveStatus {
 	for _, lr := range l.ranks {
 		st.BytesIngested += lr.bytes.Load()
 		st.EventsIngested += lr.events.Load()
+		res, peak := lr.log.residentEvents()
+		st.ResidentEvents += res
+		st.MaxResidentEvents += peak
 		lr.mu.Lock()
 		if lr.finished {
 			st.RanksFinished++

@@ -82,6 +82,12 @@ type Config struct {
 	// 0 derives it from the run span so the whole run fits without
 	// bucket folding.
 	ProfileWidth float64
+	// SequentialPostPass forces the wrong-order post-pass to run as
+	// one sequential sweep over the ranks instead of per-rank in
+	// parallel. The two produce byte-identical artifacts (the
+	// determinism tests assert it); the sequential path exists as that
+	// test's reference and as a fallback while debugging.
+	SequentialPostPass bool
 }
 
 // Result is the outcome of one analysis.
@@ -167,6 +173,47 @@ func LoadArchiveObs(mounts *archive.Mounts, metahosts []int, dir string, rec *ob
 // the first-error race still takes precedence, keeping the reported
 // error deterministic).
 func LoadArchiveCtx(ctx context.Context, mounts *archive.Mounts, metahosts []int, dir string, rec *obs.Recorder) ([]*trace.Trace, error) {
+	out, _, err := loadArchiveCtx(ctx, mounts, metahosts, dir, rec, false)
+	return out, err
+}
+
+// LazyArchive is an archive loaded header-only: every v2 trace file's
+// byte image is kept whole and its events decode block by block during
+// the analysis sweep, directly out of the backing slice. V1 ranks
+// (mixed archives are legal) fall back to full materialization. A
+// LazyArchive is reusable across sequential analyses but not
+// concurrent ones — the block readers are stateful.
+type LazyArchive struct {
+	// Traces holds every rank's decoded header (location, sync block,
+	// regions, communicators). For a v2 rank Events is nil; the events
+	// live in the backing image until the sweep reaches them.
+	Traces []*trace.Trace
+
+	readers []*trace.BlockReader // per rank; nil = v1, fully decoded
+}
+
+// LoadArchiveLazy reads an experiment's trace files but defers v2
+// event decoding to the analysis sweep: each file is one read into one
+// buffer, and only the header is parsed up front. Combined with
+// AnalyzeLazy this both makes loading I/O-bound (the per-event decode
+// cost moves into the parallel sweep) and bounds analysis memory —
+// swept blocks are released, so an archive larger than RAM streams
+// through.
+func LoadArchiveLazy(mounts *archive.Mounts, metahosts []int, dir string) (*LazyArchive, error) {
+	return LoadArchiveLazyCtx(context.Background(), mounts, metahosts, dir, nil)
+}
+
+// LoadArchiveLazyCtx is LoadArchiveLazy honoring ctx and reporting
+// ingestion telemetry into rec (nil selects obs.Default).
+func LoadArchiveLazyCtx(ctx context.Context, mounts *archive.Mounts, metahosts []int, dir string, rec *obs.Recorder) (*LazyArchive, error) {
+	out, readers, err := loadArchiveCtx(ctx, mounts, metahosts, dir, rec, true)
+	if err != nil {
+		return nil, err
+	}
+	return &LazyArchive{Traces: out, readers: readers}, nil
+}
+
+func loadArchiveCtx(ctx context.Context, mounts *archive.Mounts, metahosts []int, dir string, rec *obs.Recorder, lazy bool) ([]*trace.Trace, []*trace.BlockReader, error) {
 	rec = obs.OrDefault(rec)
 	m := newIngestMetrics(rec)
 	span := rec.Phases.Start("ingest")
@@ -186,7 +233,7 @@ func LoadArchiveCtx(ctx context.Context, mounts *archive.Mounts, metahosts []int
 		seen[fs] = true
 		names, err := fs.List(dir)
 		if err != nil {
-			return nil, fmt.Errorf("replay: listing archive %q: %w", dir, err)
+			return nil, nil, fmt.Errorf("replay: listing archive %q: %w", dir, err)
 		}
 		for _, name := range names {
 			rank, ok := traceRank(name)
@@ -194,19 +241,19 @@ func LoadArchiveCtx(ctx context.Context, mounts *archive.Mounts, metahosts []int
 				continue
 			}
 			if ranks[rank] {
-				return nil, fmt.Errorf("replay: duplicate trace for rank %d", rank)
+				return nil, nil, fmt.Errorf("replay: duplicate trace for rank %d", rank)
 			}
 			ranks[rank] = true
 			items = append(items, loadItem{fs: fs, name: name, rank: rank})
 		}
 	}
 	if len(items) == 0 {
-		return nil, fmt.Errorf("replay: archive %q contains no trace files", dir)
+		return nil, nil, fmt.Errorf("replay: archive %q contains no trace files", dir)
 	}
 	for rank := range ranks {
 		// No duplicates and every rank inside 0..n-1 imply density.
 		if rank < 0 || rank >= len(items) {
-			return nil, fmt.Errorf("replay: rank %d outside dense range 0..%d (missing trace)",
+			return nil, nil, fmt.Errorf("replay: rank %d outside dense range 0..%d (missing trace)",
 				rank, len(items)-1)
 		}
 	}
@@ -224,6 +271,7 @@ func LoadArchiveCtx(ctx context.Context, mounts *archive.Mounts, metahosts []int
 
 	var (
 		out       = make([]*trace.Trace, len(items))
+		readers   []*trace.BlockReader
 		intern    = trace.NewInterner()
 		errs      = make([]error, len(items))
 		next      atomic.Int64
@@ -232,6 +280,9 @@ func LoadArchiveCtx(ctx context.Context, mounts *archive.Mounts, metahosts []int
 		decoded   atomic.Int64
 		wg        sync.WaitGroup
 	)
+	if lazy {
+		readers = make([]*trace.BlockReader, len(items))
+	}
 	minErr.Store(int64(len(items)))
 	decodeOne := func(i int) error {
 		it := items[i]
@@ -240,9 +291,21 @@ func LoadArchiveCtx(ctx context.Context, mounts *archive.Mounts, metahosts []int
 			return fmt.Errorf("replay: opening %s: %w", it.name, err)
 		}
 		bytesRead.Add(int64(len(data)))
-		t, err := trace.DecodeBytesInterned(data, intern)
-		if err != nil {
-			return fmt.Errorf("replay: decoding %s: %w", it.name, err)
+		var t *trace.Trace
+		if f, ferr := trace.FormatOf(data); lazy && ferr == nil && f == trace.FormatV2 {
+			// Lazy fast path: parse the header, keep the image. The
+			// events stay encoded until the sweep wants them.
+			r, err := trace.NewBlockReader(data, intern)
+			if err != nil {
+				return fmt.Errorf("replay: decoding %s: %w", it.name, err)
+			}
+			readers[it.rank] = r
+			t = r.Trace()
+		} else {
+			t, err = trace.DecodeBytesInterned(data, intern)
+			if err != nil {
+				return fmt.Errorf("replay: decoding %s: %w", it.name, err)
+			}
 		}
 		if t.Loc.Rank != it.rank {
 			return fmt.Errorf("replay: %s contains trace of rank %d", it.name, t.Loc.Rank)
@@ -288,15 +351,15 @@ func LoadArchiveCtx(ctx context.Context, mounts *archive.Mounts, metahosts []int
 	m.traces.Add(float64(decoded.Load()))
 	m.bytes.Add(float64(bytesRead.Load()))
 	if idx := minErr.Load(); idx < int64(len(items)) {
-		return nil, errs[idx]
+		return nil, nil, errs[idx]
 	}
 	if ctxCancelled.Load() {
-		return nil, fmt.Errorf("replay: archive load aborted: %w", context.Cause(ctx))
+		return nil, nil, fmt.Errorf("replay: archive load aborted: %w", context.Cause(ctx))
 	}
 	rec.Log.Debug("archive loaded", "dir", dir, "traces", len(items),
-		"bytes", bytesRead.Load(), "pool_width", width,
+		"bytes", bytesRead.Load(), "pool_width", width, "lazy", lazy,
 		"seconds", fmt.Sprintf("%.3f", time.Since(start).Seconds()))
-	return out, nil
+	return out, readers, nil
 }
 
 // ingestMetrics pre-registers the archive-ingestion metric families so
@@ -426,6 +489,26 @@ func Analyze(traces []*trace.Trace, cfg Config) (*Result, error) {
 // error (errors.Is-compatible with context.Canceled and
 // context.DeadlineExceeded).
 func AnalyzeContext(ctx context.Context, traces []*trace.Trace, cfg Config) (*Result, error) {
+	return analyzeCtx(ctx, traces, nil, cfg)
+}
+
+// AnalyzeLazy analyzes a lazily loaded archive: v2 ranks decode their
+// event blocks on demand during the sweep and release them behind it,
+// so peak analysis memory is bounded by the sweep window rather than
+// the archive size. The produced report, profile, and counters are
+// byte-identical to Analyze over the fully materialized traces — lazy
+// block validation applies the same checks at the same events.
+func AnalyzeLazy(ar *LazyArchive, cfg Config) (*Result, error) {
+	return AnalyzeLazyContext(context.Background(), ar, cfg)
+}
+
+// AnalyzeLazyContext is AnalyzeLazy honoring ctx, with AnalyzeContext's
+// cancellation behavior.
+func AnalyzeLazyContext(ctx context.Context, ar *LazyArchive, cfg Config) (*Result, error) {
+	return analyzeCtx(ctx, ar.Traces, ar.readers, cfg)
+}
+
+func analyzeCtx(ctx context.Context, traces []*trace.Trace, readers []*trace.BlockReader, cfg Config) (*Result, error) {
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("replay: no traces")
 	}
@@ -463,10 +546,24 @@ func AnalyzeContext(ctx context.Context, traces []*trace.Trace, cfg Config) (*Re
 	}
 	a := newAnalyzer(traces, corr, comms, cfg)
 	a.metrics = m
+	for i, r := range readers {
+		if r == nil {
+			continue // v1 rank: fully materialized, flat log already set
+		}
+		lg, err := newLazyRankLog(r)
+		if err != nil {
+			return nil, err
+		}
+		a.logs[i] = lg
+	}
 
 	events := 0
-	for _, t := range traces {
-		events += len(t.Events)
+	for i, t := range traces {
+		if i < len(readers) && readers[i] != nil {
+			events += readers[i].Total()
+		} else {
+			events += len(t.Events)
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("replay: analysis aborted before replay: %w", err)
@@ -522,24 +619,27 @@ func AnalyzeContext(ctx context.Context, traces []*trace.Trace, cfg Config) (*Re
 // profileConfig derives the time-resolved profile's interval axis
 // from the corrected run span: origin at the earliest corrected event,
 // bucket width covering the span with ~6% headroom so neither the last
-// event nor moderate timestamp repairs force a bucket fold. The axis
-// depends only on the traces and corrections, so two analyses of the
-// same archive profile onto identical intervals.
-func profileConfig(traces []*trace.Trace, corr []vclock.LinearMap, cfg Config) profile.Config {
+// event nor moderate timestamp repairs force a bucket fold. The span
+// is read from the rank logs' time bounds — not the traces' event
+// slices, which lazy and live analyses never materialize — so the axis
+// depends only on the events and corrections, and two analyses of the
+// same archive profile onto identical intervals regardless of mode.
+func profileConfig(logs []*rankLog, corr []vclock.LinearMap, cfg Config) profile.Config {
 	pc := profile.Config{Buckets: cfg.ProfileBuckets, Width: cfg.ProfileWidth}
 	if pc.Buckets <= 0 {
 		pc.Buckets = profile.DefaultBuckets
 	}
 	first := math.Inf(1)
 	last := math.Inf(-1)
-	for r, t := range traces {
-		if len(t.Events) == 0 {
+	for r, lg := range logs {
+		lo, hi, ok := lg.bounds()
+		if !ok {
 			continue
 		}
-		if v := corr[r].Apply(t.Events[0].Time); v < first {
+		if v := corr[r].Apply(lo); v < first {
 			first = v
 		}
-		if v := corr[r].Apply(t.Events[len(t.Events)-1].Time); v > last {
+		if v := corr[r].Apply(hi); v > last {
 			last = v
 		}
 	}
@@ -647,10 +747,18 @@ func (r *Result) FormatCommMatrix() string {
 // comparison with Result.ReplayBytes quantifies §4's argument for
 // replay-based parallel analysis.
 func TraceSizes(traces []*trace.Trace) ([]int64, error) {
+	return TraceSizesFormat(traces, trace.FormatV1)
+}
+
+// TraceSizesFormat is TraceSizes for an explicit encoding format, so
+// the v1-vs-v2 footprint comparison uses the same yardstick as the
+// archive on disk. FormatDefault selects the current default writer
+// format.
+func TraceSizesFormat(traces []*trace.Trace, f trace.Format) ([]int64, error) {
 	out := make([]int64, len(traces))
 	for i, t := range traces {
 		var cw countingWriter
-		if err := t.Encode(&cw); err != nil {
+		if err := t.EncodeFormat(&cw, f); err != nil {
 			return nil, err
 		}
 		out[i] = cw.n

@@ -514,16 +514,11 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 	sc := newSweepCursor(a.logs[rank])
 
 	// One receive-log entry is appended per Recv event; when the whole
-	// log is already present (post-mortem), sizing it exactly up front
-	// avoids the doubling reallocations that dominated the analyzer's
-	// allocation profile.
-	if events, ok := a.logs[rank].snapshotIfClosed(); ok {
-		nrecv := 0
-		for i := range events {
-			if events[i].Kind == trace.KindRecv {
-				nrecv++
-			}
-		}
+	// log is already present as one slice (post-mortem), sizing it
+	// exactly up front avoids the doubling reallocations that dominated
+	// the analyzer's allocation profile. Lazy and live logs skip this —
+	// counting would force the entire log resident.
+	if nrecv, ok := a.logs[rank].recvCountIfFlat(); ok {
 		rr.recvLog = make([]recvInfo, 0, nrecv)
 	}
 
@@ -569,7 +564,18 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 			rr.err = a.cancelErr(rank)
 			return rr
 		}
-		ev := &sc.events[i]
+		// Blocks entirely behind the frontier will never be read again;
+		// releasing them is what bounds a lazy or live sweep's memory.
+		sc.release(i)
+		ev := sc.ev(i)
+		if ev == nil {
+			// A lazy block failed to decode or validate. The fault is
+			// this rank's alone, but peers blocked on our sends must
+			// unwind too.
+			rr.err = sc.err
+			a.abortWith(sc.err)
+			return rr
+		}
 		ct := corr.Apply(ev.Time) + delta
 		if a.progress != nil {
 			a.progress[rank].Store(math.Float64bits(ct))
@@ -606,9 +612,13 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 			top := stack[len(stack)-1]
 			exitT, ok := regionExitTime(sc, i, corr, delta)
 			if !ok {
-				if sc.aborted {
+				switch {
+				case sc.err != nil:
+					rr.err = sc.err
+					a.abortWith(sc.err)
+				case sc.aborted:
 					rr.err = a.cancelErr(rank)
-				} else {
+				default:
 					rr.err = fmt.Errorf("replay: rank %d: unterminated MPI region at event %d", rank, i)
 				}
 				return rr
@@ -797,12 +807,16 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 func regionExitTime(sc *sweepCursor, i int, corr vclock.LinearMap, delta float64) (float64, bool) {
 	depth := 0
 	for j := i + 1; sc.at(j); j++ {
-		switch sc.events[j].Kind {
+		e := sc.ev(j)
+		if e == nil {
+			return 0, false // decode failed; the cause is in sc.err
+		}
+		switch e.Kind {
 		case trace.KindEnter:
 			depth++
 		case trace.KindExit:
 			if depth == 0 {
-				return corr.Apply(sc.events[j].Time) + delta, true
+				return corr.Apply(e.Time) + delta, true
 			}
 			depth--
 		}

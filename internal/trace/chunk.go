@@ -20,18 +20,30 @@ import (
 // A ChunkDecoder is not safe for concurrent use; the caller serializes
 // Feed/Finish per rank (the serve layer's sequence numbers do this).
 type ChunkDecoder struct {
+	// DiscardEvents, when set before the first Feed, stops the decoder
+	// from accumulating events on the trace returned by Header/Finish:
+	// events are still decoded, validated, and handed to the caller as
+	// they complete, but the decoder's resident memory stays bounded by
+	// one chunk (plus one block for v2 streams). The live analysis
+	// engine runs in this mode — its rank logs already hold the events,
+	// so a second copy on the Trace would double live memory.
+	DiscardEvents bool
+
 	intern *Interner
 	buf    []byte // bytes fed but not yet consumed
 	fed    int64  // total bytes ever fed
 
 	t        *Trace // nil until the header has fully decoded
+	version  byte   // format version from the header
 	declared uint64 // event count from the header
 	decoded  uint64 // events completed so far
 
+	// v2 block streaming state.
+	blockSize int     // events per block, 0 until read
+	blockBuf  []Event // reusable block decode buffer
+
 	// Incremental Validate state.
-	known    map[RegionID]bool
-	depth    int
-	lastTime float64
+	val *StreamValidator
 
 	err error // sticky: first fatal error ends the stream
 }
@@ -76,33 +88,82 @@ func (c *ChunkDecoder) Feed(data []byte) ([]Event, error) {
 		}
 		c.t = t
 		c.declared = ne
-		c.known = make(map[RegionID]bool, len(t.Regions))
-		for _, r := range t.Regions {
-			c.known[r.ID] = true
+		c.version = d.version
+		c.val = NewStreamValidator(t)
+		c.buf = c.buf[:copy(c.buf, c.buf[d.pos:])]
+	}
+
+	if c.version == formatVersion2 && c.blockSize == 0 {
+		// The v2 stream carries its block size right after the header;
+		// the varint may itself straddle a chunk boundary.
+		d := &decoder{data: c.buf, intern: c.intern, streaming: true}
+		bs, err := decodeV2BlockSize(d)
+		if err != nil {
+			if needMore(err) {
+				return nil, nil
+			}
+			c.err = err
+			return nil, c.err
 		}
+		c.blockSize = bs
+		c.blockBuf = make([]Event, bs)
 		c.buf = c.buf[:copy(c.buf, c.buf[d.pos:])]
 	}
 
 	d := &decoder{data: c.buf, intern: c.intern, streaming: true}
 	var fresh []Event
-	for c.decoded < c.declared {
-		start := d.pos
-		var ev Event
-		if err := decodeEvent(d, int(c.decoded), &ev); err != nil {
-			if needMore(err) {
-				d.pos = start // event still arriving; retry next Feed
-				break
+	if c.version == formatVersion2 {
+		for c.decoded < c.declared {
+			start := d.pos
+			n, err := decodeV2Block(d, c.blockBuf, c.blockSize)
+			if err != nil {
+				if needMore(err) {
+					d.pos = start // block still arriving; retry next Feed
+					break
+				}
+				c.err = err
+				return nil, c.err
 			}
-			c.err = err
-			return nil, c.err
+			if uint64(n) > c.declared-c.decoded {
+				c.err = fmt.Errorf("trace %v: blocks hold more events than the declared count %d",
+					c.t.Loc, c.declared)
+				return nil, c.err
+			}
+			for i := 0; i < n; i++ {
+				ev := c.blockBuf[i]
+				if err := c.val.Event(&ev); err != nil {
+					c.err = err
+					return nil, c.err
+				}
+				if !c.DiscardEvents {
+					c.t.Events = append(c.t.Events, ev)
+				}
+				fresh = append(fresh, ev)
+				c.decoded++
+			}
 		}
-		if err := c.validateEvent(&ev); err != nil {
-			c.err = err
-			return nil, c.err
+	} else {
+		for c.decoded < c.declared {
+			start := d.pos
+			var ev Event
+			if err := decodeEvent(d, int(c.decoded), &ev); err != nil {
+				if needMore(err) {
+					d.pos = start // event still arriving; retry next Feed
+					break
+				}
+				c.err = err
+				return nil, c.err
+			}
+			if err := c.val.Event(&ev); err != nil {
+				c.err = err
+				return nil, c.err
+			}
+			if !c.DiscardEvents {
+				c.t.Events = append(c.t.Events, ev)
+			}
+			fresh = append(fresh, ev)
+			c.decoded++
 		}
-		c.t.Events = append(c.t.Events, ev)
-		fresh = append(fresh, ev)
-		c.decoded++
 	}
 	c.buf = c.buf[:copy(c.buf, c.buf[d.pos:])]
 	if c.decoded == c.declared && len(c.buf) > 0 {
@@ -111,35 +172,6 @@ func (c *ChunkDecoder) Feed(data []byte) ([]Event, error) {
 		return nil, c.err
 	}
 	return fresh, nil
-}
-
-// validateEvent applies (*Trace).Validate's per-event checks as events
-// complete, with identical messages, so a fault caught post-mortem is
-// caught at the same event when streamed.
-func (c *ChunkDecoder) validateEvent(ev *Event) error {
-	i := int(c.decoded)
-	if i > 0 && ev.Time < c.lastTime {
-		return fmt.Errorf("trace %v: event %d time %g before predecessor %g",
-			c.t.Loc, i, ev.Time, c.lastTime)
-	}
-	c.lastTime = ev.Time
-	switch ev.Kind {
-	case KindEnter:
-		if !c.known[ev.Region] {
-			return fmt.Errorf("trace %v: event %d enters unknown region %d", c.t.Loc, i, ev.Region)
-		}
-		c.depth++
-	case KindExit:
-		c.depth--
-		if c.depth < 0 {
-			return fmt.Errorf("trace %v: event %d exit without matching enter", c.t.Loc, i)
-		}
-	case KindSend, KindRecv, KindCollExit:
-		if c.depth == 0 {
-			return fmt.Errorf("trace %v: event %d %v outside any region", c.t.Loc, i, ev.Kind)
-		}
-	}
-	return nil
 }
 
 // Finish declares end-of-stream and returns the completed trace. A
@@ -160,8 +192,8 @@ func (c *ChunkDecoder) Finish() (*Trace, error) {
 			c.t.Loc, c.decoded, c.declared, io.ErrUnexpectedEOF)
 		return nil, c.err
 	}
-	if c.depth != 0 {
-		c.err = fmt.Errorf("trace %v: %d unclosed region(s) at end of trace", c.t.Loc, c.depth)
+	if err := c.val.Close(); err != nil {
+		c.err = err
 		return nil, c.err
 	}
 	return c.t, nil

@@ -227,3 +227,163 @@ func TestChunkDecoderRejectsCorruption(t *testing.T) {
 		}
 	})
 }
+
+// validTrace returns a Validate-clean trace of about ne events built on
+// the sample header: Enter/op/Exit triples over the three sample
+// regions, for streaming tests that span multiple v2 blocks.
+func validTrace(ne int) *Trace {
+	tr := sampleTrace()
+	tr.Events = nil
+	now := 1.0
+	for len(tr.Events) < ne {
+		now += 1e-4
+		i := len(tr.Events)
+		tr.Events = append(tr.Events, Event{Kind: KindEnter, Time: now, Region: RegionID(i % 3)})
+		switch i % 3 {
+		case 0:
+			tr.Events = append(tr.Events, Event{Kind: KindSend, Time: now, Comm: 0, Peer: int32(i % 4), Tag: 7, Bytes: int64(i)})
+		case 1:
+			tr.Events = append(tr.Events, Event{Kind: KindRecv, Time: now, Comm: 1, Peer: 1, Tag: 7, Bytes: 4096})
+		default:
+			tr.Events = append(tr.Events, Event{Kind: KindCollExit, Time: now, Comm: 0, Coll: CollBarrier, Root: -1})
+		}
+		tr.Events = append(tr.Events, Event{Kind: KindExit, Time: now, Region: RegionID(i % 3)})
+	}
+	return tr
+}
+
+func TestChunkDecoderV2MatchesOneShot(t *testing.T) {
+	// Block size 64 over ~1000 events: many whole blocks plus a partial
+	// tail, with chunk boundaries landing inside length prefixes, column
+	// directories, and mid-column.
+	data := encodeV2Bytes(t, validTrace(1000), 64)
+	want, err := DecodeBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sizes := range [][]int{
+		{1},                  // every byte its own chunk
+		{2, 3, 5, 7},         // cycling odd sizes
+		{len(data)},          // one shot through the chunk path
+		{13, 1, 64, 2, 1000}, // mixed
+	} {
+		c, got := feedAll(t, data, sizes)
+		tr, err := c.Finish()
+		if err != nil {
+			t.Fatalf("sizes %v: Finish: %v", sizes, err)
+		}
+		if !reflect.DeepEqual(tr, want) {
+			t.Fatalf("sizes %v: chunked v2 trace differs from one-shot decode", sizes)
+		}
+		if !reflect.DeepEqual(got, want.Events) {
+			t.Fatalf("sizes %v: Feed-returned events differ from one-shot decode", sizes)
+		}
+	}
+}
+
+func TestChunkDecoderV2Truncation(t *testing.T) {
+	data := encodeV2Bytes(t, validTrace(100), 16)
+	for cut := 0; cut < len(data); cut += 7 {
+		c := NewChunkDecoder(nil)
+		if _, err := c.Feed(data[:cut]); err != nil {
+			t.Fatalf("cut %d: Feed: %v", cut, err)
+		}
+		if _, err := c.Finish(); err == nil {
+			t.Fatalf("cut %d/%d: Finish succeeded on truncated v2 stream", cut, len(data))
+		} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: Finish err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestChunkDecoderV2RejectsCorruption(t *testing.T) {
+	t.Run("non-monotone time", func(t *testing.T) {
+		tr := validTrace(200)
+		tr.Events[150].Time = 0.5 // before its predecessor, in a later block
+		data := encodeV2Bytes(t, tr, 32)
+		c := NewChunkDecoder(nil)
+		_, err := c.Feed(data)
+		if err == nil || !bytes.Contains([]byte(err.Error()), []byte("before predecessor")) {
+			t.Fatalf("err = %v, want monotone-time violation", err)
+		}
+		// The streamed fault matches post-mortem Validate byte for byte.
+		got, derr := DecodeBytes(data)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if verr := got.Validate(); verr == nil || verr.Error() != err.Error() {
+			t.Fatalf("streamed error %q != post-mortem Validate %q", err, verr)
+		}
+	})
+
+	t.Run("trailing bytes", func(t *testing.T) {
+		data := encodeV2Bytes(t, validTrace(50), 16)
+		c := NewChunkDecoder(nil)
+		if _, err := c.Feed(data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Feed([]byte{0xff}); err == nil {
+			t.Fatal("trailing byte accepted")
+		}
+	})
+
+	t.Run("unknown region", func(t *testing.T) {
+		tr := validTrace(60)
+		tr.Events[30].Region = 99
+		if tr.Events[30].Kind != KindEnter {
+			t.Fatal("test setup: event 30 is not an Enter")
+		}
+		data := encodeV2Bytes(t, tr, 16)
+		c := NewChunkDecoder(nil)
+		if _, err := c.Feed(data); err == nil {
+			t.Fatal("unknown region accepted")
+		}
+	})
+}
+
+func TestChunkDecoderDiscardEvents(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"v1", encodeSample(t)},
+		{"v2", encodeV2Bytes(t, validTrace(300), 32)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := DecodeBytes(tc.data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewChunkDecoder(nil)
+			c.DiscardEvents = true
+			var got []Event
+			for off := 0; off < len(tc.data); off += 11 {
+				end := off + 11
+				if end > len(tc.data) {
+					end = len(tc.data)
+				}
+				evs, err := c.Feed(tc.data[off:end])
+				if err != nil {
+					t.Fatalf("Feed at %d: %v", off, err)
+				}
+				got = append(got, evs...)
+			}
+			tr, err := c.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tr.Events) != 0 {
+				t.Fatalf("DiscardEvents kept %d events on the trace", len(tr.Events))
+			}
+			if !reflect.DeepEqual(got, want.Events) {
+				t.Fatal("Feed-returned events differ from one-shot decode")
+			}
+			if c.Decoded() != uint64(len(want.Events)) {
+				t.Fatalf("Decoded = %d, want %d", c.Decoded(), len(want.Events))
+			}
+			if tr.Loc != want.Loc || len(tr.Regions) != len(want.Regions) {
+				t.Fatal("discarding events mutated the header")
+			}
+		})
+	}
+}

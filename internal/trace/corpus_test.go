@@ -13,24 +13,44 @@ import (
 
 var updateCorpus = flag.Bool("update", false, "regenerate the checked-in fuzz seed corpus")
 
-const corpusDir = "testdata/fuzz/FuzzDecode"
+const corpusRoot = "testdata/fuzz"
 
-// corpusEntries is the checked-in seed corpus: every encoder path plus
-// the malformed shapes the decoder must reject cleanly. The entries are
-// deterministic, so the corpus regenerates byte-identically.
-func corpusEntries(t testing.TB) map[string][]byte {
+// corpusSets is the checked-in seed corpus per fuzz target: every
+// encoder path in both formats plus the malformed shapes the decoders
+// must reject cleanly. The entries are deterministic, so the corpus
+// regenerates byte-identically.
+func corpusSets(t testing.TB) map[string]map[string][]byte {
 	t.Helper()
 	enc := encodedSeeds(t)
-	return map[string][]byte{
-		"valid-sample":     enc[0],
-		"valid-minimal":    enc[1],
-		"valid-p2p":        enc[2],
-		"empty":            {},
-		"magic-only":       []byte("MSCP"),
-		"bad-version":      append([]byte("MSCP"), 0xFF),
-		"not-a-trace":      []byte("not a trace"),
-		"truncated-header": enc[0][:8],
-		"truncated-mid":    enc[2][: len(enc[2])/2 : len(enc[2])/2],
+	enc2 := encodedV2Seeds(t)
+	return map[string]map[string][]byte{
+		"FuzzDecode": {
+			"valid-sample":     enc[0],
+			"valid-minimal":    enc[1],
+			"valid-p2p":        enc[2],
+			"empty":            {},
+			"magic-only":       []byte("MSCP"),
+			"bad-version":      append([]byte("MSCP"), 0xFF),
+			"not-a-trace":      []byte("not a trace"),
+			"truncated-header": enc[0][:8],
+			"truncated-mid":    enc[2][: len(enc[2])/2 : len(enc[2])/2],
+		},
+		"FuzzDecodeV2": {
+			"v2-valid-sample":      enc2[0],
+			"v2-valid-minimal":     enc2[1],
+			"v2-valid-multiblock":  enc2[2], // block size 2: several blocks
+			"v2-magic-only":        []byte("MSCP\x02"),
+			"v2-truncated-block":   enc2[2][: len(enc2[2])*3/4 : len(enc2[2])*3/4],
+			"v2-trailing-garbage":  append(append([]byte{}, enc2[1]...), 0xFF),
+			"v1-through-v2-target": enc[0], // v1 image: the target must handle both
+		},
+		"FuzzDecodeDifferential": {
+			"diff-v1-sample":   enc[0],
+			"diff-v1-p2p":      enc[2],
+			"diff-v2-sample":   enc2[0],
+			"diff-v2-multiblk": enc2[2],
+			"diff-not-a-trace": []byte("not a trace"),
+		},
 	}
 }
 
@@ -57,62 +77,70 @@ func unmarshalCorpus(raw []byte) ([]byte, error) {
 	return []byte(s), nil
 }
 
-// TestFuzzSeedCorpus keeps the checked-in corpus honest: with -update
-// it regenerates the files; without, it verifies every file parses,
-// matches the expected set, and satisfies the fuzz invariant (anything
-// the decoder accepts survives a re-encode round trip). The Go tool
-// additionally feeds these files to FuzzDecode during plain `go test`,
-// so the corpus doubles as the CI fuzz smoke.
+// TestFuzzSeedCorpus keeps the checked-in corpora honest: with -update
+// it regenerates the files for all three fuzz targets; without, it
+// verifies every file parses, matches the expected set, and satisfies
+// the shared fuzz invariant (anything a decoder accepts survives a
+// re-encode round trip in both formats). The Go tool additionally feeds
+// these files to their targets during plain `go test`, so the corpora
+// double as the CI fuzz smoke.
 func TestFuzzSeedCorpus(t *testing.T) {
-	want := corpusEntries(t)
-	if *updateCorpus {
-		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
-			t.Fatal(err)
-		}
-		for name, data := range want {
-			if err := os.WriteFile(filepath.Join(corpusDir, name), marshalCorpus(data), 0o644); err != nil {
-				t.Fatal(err)
+	for target, want := range corpusSets(t) {
+		t.Run(target, func(t *testing.T) {
+			dir := filepath.Join(corpusRoot, target)
+			if *updateCorpus {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				for name, data := range want {
+					if err := os.WriteFile(filepath.Join(dir, name), marshalCorpus(data), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
 			}
-		}
-	}
-	files, err := os.ReadDir(corpusDir)
-	if err != nil {
-		t.Fatalf("reading seed corpus (run `go test ./internal/trace -run TestFuzzSeedCorpus -update` to create it): %v", err)
-	}
-	seen := make(map[string]bool)
-	for _, f := range files {
-		raw, err := os.ReadFile(filepath.Join(corpusDir, f.Name()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		data, err := unmarshalCorpus(raw)
-		if err != nil {
-			t.Errorf("%s: %v", f.Name(), err)
-			continue
-		}
-		if wantData, ok := want[f.Name()]; ok {
-			seen[f.Name()] = true
-			if !bytes.Equal(data, wantData) {
-				t.Errorf("%s: corpus drifted from its generator; rerun with -update", f.Name())
+			files, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatalf("reading seed corpus (run `go test ./internal/trace -run TestFuzzSeedCorpus -update` to create it): %v", err)
 			}
-		}
-		// The fuzz invariant, inline: accepted inputs must round-trip.
-		tr, err := DecodeBytes(data)
-		if err != nil {
-			continue
-		}
-		var buf bytes.Buffer
-		if err := tr.Encode(&buf); err != nil {
-			t.Errorf("%s: decoded trace failed to re-encode: %v", f.Name(), err)
-			continue
-		}
-		if _, err := DecodeBytes(buf.Bytes()); err != nil {
-			t.Errorf("%s: re-encoded trace failed to decode: %v", f.Name(), err)
-		}
-	}
-	for name := range want {
-		if !seen[name] {
-			t.Errorf("seed %s missing from %s; rerun with -update", name, corpusDir)
-		}
+			seen := make(map[string]bool)
+			for _, f := range files {
+				raw, err := os.ReadFile(filepath.Join(dir, f.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := unmarshalCorpus(raw)
+				if err != nil {
+					t.Errorf("%s: %v", f.Name(), err)
+					continue
+				}
+				if wantData, ok := want[f.Name()]; ok {
+					seen[f.Name()] = true
+					if !bytes.Equal(data, wantData) {
+						t.Errorf("%s: corpus drifted from its generator; rerun with -update", f.Name())
+					}
+				}
+				// The fuzz invariant, inline: accepted inputs must
+				// round-trip through both encoders.
+				tr, err := DecodeBytes(data)
+				if err != nil {
+					continue
+				}
+				for _, format := range []Format{FormatV1, FormatV2} {
+					var buf bytes.Buffer
+					if err := tr.EncodeFormat(&buf, format); err != nil {
+						t.Errorf("%s: decoded trace failed to re-encode as %v: %v", f.Name(), format, err)
+						continue
+					}
+					if _, err := DecodeBytes(buf.Bytes()); err != nil {
+						t.Errorf("%s: re-encoded %v trace failed to decode: %v", f.Name(), format, err)
+					}
+				}
+			}
+			for name := range want {
+				if !seen[name] {
+					t.Errorf("seed %s missing from %s; rerun with -update", name, dir)
+				}
+			}
+		})
 	}
 }

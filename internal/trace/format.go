@@ -25,7 +25,10 @@ import (
 
 var magic = [4]byte{'M', 'S', 'C', 'P'}
 
-const formatVersion = 1
+const (
+	formatVersion  = 1
+	formatVersion2 = 2
+)
 
 // ErrBadMagic is returned when decoding a stream that is not a
 // metascope trace file.
@@ -116,6 +119,10 @@ type decoder struct {
 	pos    int
 	err    error
 	intern *Interner
+	// version records the format version byte decodeHeader saw, so the
+	// caller can dispatch between the v1 row stream and the v2 block
+	// stream that follow the (identical) header.
+	version byte
 	// streaming marks a chunked decode (ChunkDecoder): a declared count
 	// that exceeds the bytes buffered so far is not corruption — the
 	// missing bytes may simply not have arrived yet — so the bound check
@@ -239,13 +246,15 @@ func encodeMeasurement(e *encoder, m [3]float64) {
 	e.f64(m[2])
 }
 
-// Encode writes the trace to w in the MSCP binary format.
-func (t *Trace) Encode(w io.Writer) error {
-	e := &encoder{w: bufio.NewWriter(w)}
+// encodeHeader writes everything before the event stream — magic, the
+// given version byte, location, sync block, region table, communicator
+// definitions — shared by the v1 row encoder and the v2 block encoder
+// (the header layout is byte-identical across versions).
+func (t *Trace) encodeHeader(e *encoder, version byte) error {
 	if _, err := e.w.Write(magic[:]); err != nil {
 		return err
 	}
-	e.byte(formatVersion)
+	e.byte(version)
 
 	// Location.
 	e.i64(int64(t.Loc.Rank))
@@ -290,6 +299,15 @@ func (t *Trace) Encode(w io.Writer) error {
 		for _, r := range cd.Ranks {
 			e.i64(int64(r))
 		}
+	}
+	return e.err
+}
+
+// Encode writes the trace to w in the MSCP v1 binary format.
+func (t *Trace) Encode(w io.Writer) error {
+	e := &encoder{w: bufio.NewWriter(w)}
+	if err := t.encodeHeader(e, formatVersion); err != nil {
+		return err
 	}
 
 	// Events.
@@ -346,10 +364,20 @@ func DecodeBytesInterned(data []byte, in *Interner) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if d.version == formatVersion2 {
+		if err := decodeV2Events(d, t, ne); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
 	if !d.checkCount("event", ne, minEventBytes, maxEventCount) {
 		return nil, d.err
 	}
-	t.Events = make([]Event, ne)
+	if ne > 0 {
+		// Allocate only for a non-empty stream so that an encoded empty
+		// trace round-trips to a nil slice, not an empty one.
+		t.Events = make([]Event, ne)
+	}
 	for i := range t.Events {
 		if err := decodeEvent(d, i, &t.Events[i]); err != nil {
 			return nil, err
@@ -393,12 +421,15 @@ func decodeHeader(d *decoder) (*Trace, uint64, error) {
 	if m != magic {
 		return nil, 0, ErrBadMagic
 	}
-	if v := d.byte(); v != formatVersion {
-		if d.err != nil {
-			return nil, 0, d.err
-		}
-		return nil, 0, fmt.Errorf("trace: unsupported format version %d (want %d)", v, formatVersion)
+	v := d.byte()
+	if d.err != nil {
+		return nil, 0, d.err
 	}
+	if v != formatVersion && v != formatVersion2 {
+		return nil, 0, fmt.Errorf("trace: unsupported format version %d (want %d or %d)",
+			v, formatVersion, formatVersion2)
+	}
+	d.version = v
 
 	t := &Trace{}
 	t.Loc.Rank = int(d.i64())

@@ -1,0 +1,638 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MSCP format v2: a columnar, delta-compressed block encoding of the
+// event stream. The header (magic, version byte 2, location, sync
+// block, region table, communicator definitions) is byte-identical to
+// v1 — the region and metahost dictionaries were already hoisted there
+// — followed by:
+//
+//	event count (uvarint) | block size (uvarint) | blocks…
+//
+// Each block frames up to blockSize consecutive events as
+//
+//	payload length (uvarint) | payload
+//
+// and the payload holds a column directory followed by per-field
+// columns in a fixed order:
+//
+//	n (uvarint)              events in this block (1 ≤ n ≤ block size)
+//	column lengths           8 uvarints: the byte lengths of the
+//	                         times-hi, regions, comms, peers, tags,
+//	                         bytes, colls, and roots columns
+//	kinds                    n raw bytes
+//	times-lo                 n × 4 raw bytes: the low 32 bits of each
+//	                         time stamp's IEEE 754 bit pattern
+//	times-hi                 n zig-zag varints: deltas of the high 32
+//	                         bits of the bit pattern
+//	regions                  one delta varint per Enter/Exit
+//	comms                    one delta varint per Send/Recv/CollExit
+//	peers                    one delta varint per Send/Recv
+//	tags                     one delta varint per Send/Recv
+//	bytes                    one delta varint per Send/Recv/CollExit
+//	colls                    one raw byte per CollExit
+//	roots                    one delta varint per CollExit
+//
+// Every delta chain starts from 0 at the top of each block, so a block
+// decodes independently of its predecessors: the streaming decoder can
+// resume at any block boundary and a reader can skip blocks using only
+// the length prefixes. The split time column is lossless by
+// construction (the two halves reassemble the exact bit pattern) and
+// plays to the statistics of trace time stamps: the low mantissa bits
+// are near-random and stay a fixed-width load, while the slowly moving
+// sign/exponent/high-mantissa half delta-encodes to one or two bytes
+// per event.
+//
+// The column directory makes every column's offset computable before
+// any event is touched, so decode is one fused pass: per event, a
+// fixed-width time load, a (usually one-byte, inlined) varint per
+// populated field from that field's own cursor, and a single struct
+// store. No intermediate buffers are built, and the columns of one
+// block are read in place from a single contiguous slice of the
+// backing file image.
+
+// Format selects an on-disk trace encoding.
+type Format uint8
+
+// Supported formats. The zero value means "default", which resolves to
+// FormatV2 (the columnar encoding) everywhere a Format is consumed.
+const (
+	FormatDefault Format = 0
+	FormatV1      Format = 1
+	FormatV2      Format = 2
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatDefault:
+		return "default"
+	case FormatV1:
+		return "v1"
+	case FormatV2:
+		return "v2"
+	default:
+		return fmt.Sprintf("Format(%d)", uint8(f))
+	}
+}
+
+// ParseFormat maps the CLI spellings "v1"/"1" and "v2"/"2" (and "" for
+// the default) to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "":
+		return FormatDefault, nil
+	case "v1", "1":
+		return FormatV1, nil
+	case "v2", "2":
+		return FormatV2, nil
+	}
+	return 0, fmt.Errorf("trace: unknown format %q (want v1 or v2)", s)
+}
+
+// FormatOf sniffs the format of an encoded trace image from its magic
+// and version byte. It fails with ErrBadMagic on foreign input.
+func FormatOf(data []byte) (Format, error) {
+	if len(data) < len(magic)+1 {
+		return 0, fmt.Errorf("trace: reading magic: %w", io.ErrUnexpectedEOF)
+	}
+	var m [4]byte
+	copy(m[:], data)
+	if m != magic {
+		return 0, ErrBadMagic
+	}
+	switch v := data[len(magic)]; v {
+	case formatVersion:
+		return FormatV1, nil
+	case formatVersion2:
+		return FormatV2, nil
+	default:
+		return 0, fmt.Errorf("trace: unsupported format version %d (want %d or %d)",
+			v, formatVersion, formatVersion2)
+	}
+}
+
+const (
+	// defaultBlockSize is the encoder's events-per-block choice: large
+	// enough to amortize the framing and keep the column loops hot,
+	// small enough that a streaming decoder buffers little and a
+	// bounded-memory replay window stays fine-grained.
+	defaultBlockSize = 4096
+	// maxBlockSize bounds the decoder's scratch and the caller's block
+	// buffer against hostile headers.
+	maxBlockSize = 1 << 18
+	// minEventBytesV2 is the minimum encoded size of one v2 event: one
+	// kind byte, four raw time-lo bytes, and at least a one-byte
+	// time-hi delta. Used to bound the declared event count.
+	minEventBytesV2 = 6
+	// v2ColumnCount is the number of entries in a block's column
+	// directory (the kinds and times-lo columns have implied lengths).
+	v2ColumnCount = 8
+)
+
+// EncodeV2 writes the trace to w in the MSCP v2 columnar block format
+// with the default block size.
+func (t *Trace) EncodeV2(w io.Writer) error { return t.encodeV2(w, defaultBlockSize) }
+
+// EncodeFormat writes the trace to w in the requested format;
+// FormatDefault resolves to v2.
+func (t *Trace) EncodeFormat(w io.Writer, f Format) error {
+	switch f {
+	case FormatV1:
+		return t.Encode(w)
+	case FormatDefault, FormatV2:
+		return t.EncodeV2(w)
+	default:
+		return fmt.Errorf("trace: cannot encode unknown format %d", uint8(f))
+	}
+}
+
+func (t *Trace) encodeV2(w io.Writer, blockSize int) error {
+	if blockSize < 1 || blockSize > maxBlockSize {
+		return fmt.Errorf("trace: block size %d out of range [1, %d]", blockSize, maxBlockSize)
+	}
+	e := &encoder{w: bufio.NewWriter(w)}
+	if err := t.encodeHeader(e, formatVersion2); err != nil {
+		return err
+	}
+	e.u64(uint64(len(t.Events)))
+	e.u64(uint64(blockSize))
+
+	var buf []byte
+	var cb v2ColBufs
+	for start := 0; start < len(t.Events); start += blockSize {
+		end := start + blockSize
+		if end > len(t.Events) {
+			end = len(t.Events)
+		}
+		var err error
+		buf, err = appendV2Block(buf[:0], &cb, t.Events[start:end])
+		if err != nil {
+			return err
+		}
+		e.u64(uint64(len(buf)))
+		if e.err == nil {
+			_, e.err = e.w.Write(buf)
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// v2ColBufs holds the encoder's per-column staging buffers, reused
+// across blocks. The varint columns must be staged because their byte
+// lengths go into the column directory ahead of them.
+type v2ColBufs struct {
+	thi, reg, comm, peer, tag, byt, coll, root []byte
+}
+
+func (cb *v2ColBufs) reset() {
+	cb.thi = cb.thi[:0]
+	cb.reg = cb.reg[:0]
+	cb.comm = cb.comm[:0]
+	cb.peer = cb.peer[:0]
+	cb.tag = cb.tag[:0]
+	cb.byt = cb.byt[:0]
+	cb.coll = cb.coll[:0]
+	cb.root = cb.root[:0]
+}
+
+func appendZigzag(buf []byte, d int64) []byte {
+	return binary.AppendUvarint(buf, uint64((d<<1)^(d>>63)))
+}
+
+// appendV2Block appends one encoded block payload for evs to buf,
+// staging the varint columns in cb. Every delta chain starts from 0.
+func appendV2Block(buf []byte, cb *v2ColBufs, evs []Event) ([]byte, error) {
+	cb.reset()
+	var tprev, rprev, cprev, pprev, gprev, bprev, oprev int64
+	for i := range evs {
+		ev := &evs[i]
+		hi := int64(math.Float64bits(ev.Time) >> 32)
+		cb.thi = appendZigzag(cb.thi, hi-tprev)
+		tprev = hi
+		switch ev.Kind {
+		case KindEnter, KindExit:
+			v := int64(ev.Region)
+			cb.reg = appendZigzag(cb.reg, v-rprev)
+			rprev = v
+		case KindSend, KindRecv:
+			v := int64(ev.Comm)
+			cb.comm = appendZigzag(cb.comm, v-cprev)
+			cprev = v
+			v = int64(ev.Peer)
+			cb.peer = appendZigzag(cb.peer, v-pprev)
+			pprev = v
+			v = int64(ev.Tag)
+			cb.tag = appendZigzag(cb.tag, v-gprev)
+			gprev = v
+			cb.byt = appendZigzag(cb.byt, ev.Bytes-bprev)
+			bprev = ev.Bytes
+		case KindCollExit:
+			v := int64(ev.Comm)
+			cb.comm = appendZigzag(cb.comm, v-cprev)
+			cprev = v
+			cb.coll = append(cb.coll, byte(ev.Coll))
+			v = int64(ev.Root)
+			cb.root = appendZigzag(cb.root, v-oprev)
+			oprev = v
+			cb.byt = appendZigzag(cb.byt, ev.Bytes-bprev)
+			bprev = ev.Bytes
+		default:
+			return nil, fmt.Errorf("trace: cannot encode event of kind %d", ev.Kind)
+		}
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(evs)))
+	for _, c := range [v2ColumnCount][]byte{cb.thi, cb.reg, cb.comm, cb.peer, cb.tag, cb.byt, cb.coll, cb.root} {
+		buf = binary.AppendUvarint(buf, uint64(len(c)))
+	}
+	for i := range evs {
+		buf = append(buf, byte(evs[i].Kind))
+	}
+	for i := range evs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(math.Float64bits(evs[i].Time)))
+	}
+	buf = append(buf, cb.thi...)
+	buf = append(buf, cb.reg...)
+	buf = append(buf, cb.comm...)
+	buf = append(buf, cb.peer...)
+	buf = append(buf, cb.tag...)
+	buf = append(buf, cb.byt...)
+	buf = append(buf, cb.coll...)
+	buf = append(buf, cb.root...)
+	return buf, nil
+}
+
+// posInvalid poisons a column cursor on malformed input: it fails
+// every subsequent bounds guard (and stays poisoned through the slow
+// varint reader), so the decode loop runs through harmlessly and the
+// end-of-column checks report the corruption once.
+const posInvalid = 1 << 62
+
+// readUvarintSlow decodes one uvarint from p[pos:end]. It is the
+// out-of-line continuation of the one-byte fast path the decode loop
+// inlines; malformed or truncated input poisons the cursor.
+func readUvarintSlow(p []byte, pos, end int) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		if pos >= end || i == 10 {
+			return 0, posInvalid
+		}
+		b := p[pos]
+		pos++
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, posInvalid
+			}
+			return v | uint64(b)<<shift, pos
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+}
+
+// decodeV2BlockSize reads and validates the events-per-block header
+// field that follows the event count in a v2 stream.
+func decodeV2BlockSize(d *decoder) (int, error) {
+	bs := d.u64()
+	if d.err != nil {
+		return 0, d.err
+	}
+	if bs < 1 || bs > maxBlockSize {
+		return 0, fmt.Errorf("trace: block size %d out of range [1, %d]", bs, maxBlockSize)
+	}
+	return int(bs), nil
+}
+
+// decodeV2Block decodes the next length-prefixed block into dst and
+// returns the number of events it held. In streaming mode an
+// incomplete block reports an io.ErrUnexpectedEOF-wrapped error the
+// chunk decoder treats as "feed me more"; once the whole payload is
+// present every failure inside it is hard corruption.
+//
+// This is the hottest loop of archive ingestion (the zero-alloc gate
+// in script/check.sh sits on top of it): the column directory is
+// resolved into one cursor per column up front, then a single fused
+// pass decodes each event with an inlined one-byte varint fast path
+// per populated field and one struct store.
+func decodeV2Block(d *decoder, dst []Event, blockSize int) (int, error) {
+	plen := d.u64()
+	if d.err != nil {
+		return 0, d.err
+	}
+	if plen > uint64(d.remaining()) {
+		if d.streaming {
+			return 0, fmt.Errorf("trace: event block incomplete: %w", io.ErrUnexpectedEOF)
+		}
+		return 0, fmt.Errorf("trace: block payload length %d exceeds remaining input (%d bytes)",
+			plen, d.remaining())
+	}
+	p := d.data[d.pos : d.pos+int(plen)]
+	d.pos += int(plen)
+
+	nu, pos := readUvarintSlow(p, 0, len(p))
+	if pos == posInvalid || nu < 1 || nu > uint64(blockSize) {
+		return 0, fmt.Errorf("trace: block event count %d out of range [1, %d]", nu, blockSize)
+	}
+	n := int(nu)
+	if n > len(dst) {
+		return 0, fmt.Errorf("trace: block of %d events exceeds buffer of %d", n, len(dst))
+	}
+
+	// Column directory: byte lengths of the varint/raw columns, from
+	// which every column's extent follows. The columns must tile the
+	// payload exactly.
+	var lens [v2ColumnCount]int
+	for j := range lens {
+		var l uint64
+		l, pos = readUvarintSlow(p, pos, len(p))
+		if pos == posInvalid || l > uint64(len(p)) {
+			return 0, errors.New("trace: corrupt block column directory")
+		}
+		lens[j] = int(l)
+	}
+	need := n + 4*n
+	for _, l := range lens {
+		need += l
+	}
+	if len(p)-pos != need {
+		return 0, fmt.Errorf("trace: block columns (%d bytes) do not tile the payload (%d bytes left)",
+			need, len(p)-pos)
+	}
+
+	kinds := p[pos : pos+n]
+	pos += n
+	lo := p[pos : pos+4*n]
+	pos += 4 * n
+	thiPos, thiEnd := pos, pos+lens[0]
+	regPos, regEnd := thiEnd, thiEnd+lens[1]
+	commPos, commEnd := regEnd, regEnd+lens[2]
+	peerPos, peerEnd := commEnd, commEnd+lens[3]
+	tagPos, tagEnd := peerEnd, peerEnd+lens[4]
+	bytPos, bytEnd := tagEnd, tagEnd+lens[5]
+	collPos, collEnd := bytEnd, bytEnd+lens[6]
+	rootPos, rootEnd := collEnd, collEnd+lens[7]
+
+	var tprev, rprev, cprev, pprev, gprev, bprev, oprev int64
+	for i, k := range kinds {
+		ev := Event{Kind: EventKind(k)}
+
+		var u uint64
+		if thiPos < thiEnd {
+			if c := p[thiPos]; c < 0x80 {
+				u = uint64(c)
+				thiPos++
+			} else {
+				u, thiPos = readUvarintSlow(p, thiPos, thiEnd)
+			}
+		} else {
+			thiPos = posInvalid
+		}
+		tprev += int64(u>>1) ^ -int64(u&1)
+		ev.Time = math.Float64frombits(uint64(uint32(tprev))<<32 | uint64(binary.LittleEndian.Uint32(lo[4*i:])))
+
+		switch ev.Kind {
+		case KindEnter, KindExit:
+			if regPos < regEnd {
+				if c := p[regPos]; c < 0x80 {
+					u = uint64(c)
+					regPos++
+				} else {
+					u, regPos = readUvarintSlow(p, regPos, regEnd)
+				}
+			} else {
+				u, regPos = 0, posInvalid
+			}
+			rprev += int64(u>>1) ^ -int64(u&1)
+			ev.Region = RegionID(uint32(rprev))
+		case KindSend, KindRecv:
+			if commPos < commEnd {
+				if c := p[commPos]; c < 0x80 {
+					u = uint64(c)
+					commPos++
+				} else {
+					u, commPos = readUvarintSlow(p, commPos, commEnd)
+				}
+			} else {
+				u, commPos = 0, posInvalid
+			}
+			cprev += int64(u>>1) ^ -int64(u&1)
+			ev.Comm = int32(cprev)
+
+			if peerPos < peerEnd {
+				if c := p[peerPos]; c < 0x80 {
+					u = uint64(c)
+					peerPos++
+				} else {
+					u, peerPos = readUvarintSlow(p, peerPos, peerEnd)
+				}
+			} else {
+				u, peerPos = 0, posInvalid
+			}
+			pprev += int64(u>>1) ^ -int64(u&1)
+			ev.Peer = int32(pprev)
+
+			if tagPos < tagEnd {
+				if c := p[tagPos]; c < 0x80 {
+					u = uint64(c)
+					tagPos++
+				} else {
+					u, tagPos = readUvarintSlow(p, tagPos, tagEnd)
+				}
+			} else {
+				u, tagPos = 0, posInvalid
+			}
+			gprev += int64(u>>1) ^ -int64(u&1)
+			ev.Tag = int32(gprev)
+
+			if bytPos < bytEnd {
+				if c := p[bytPos]; c < 0x80 {
+					u = uint64(c)
+					bytPos++
+				} else {
+					u, bytPos = readUvarintSlow(p, bytPos, bytEnd)
+				}
+			} else {
+				u, bytPos = 0, posInvalid
+			}
+			bprev += int64(u>>1) ^ -int64(u&1)
+			ev.Bytes = bprev
+		case KindCollExit:
+			if commPos < commEnd {
+				if c := p[commPos]; c < 0x80 {
+					u = uint64(c)
+					commPos++
+				} else {
+					u, commPos = readUvarintSlow(p, commPos, commEnd)
+				}
+			} else {
+				u, commPos = 0, posInvalid
+			}
+			cprev += int64(u>>1) ^ -int64(u&1)
+			ev.Comm = int32(cprev)
+
+			if collPos < collEnd {
+				ev.Coll = CollOp(p[collPos])
+				collPos++
+			} else {
+				collPos = posInvalid
+			}
+
+			if rootPos < rootEnd {
+				if c := p[rootPos]; c < 0x80 {
+					u = uint64(c)
+					rootPos++
+				} else {
+					u, rootPos = readUvarintSlow(p, rootPos, rootEnd)
+				}
+			} else {
+				u, rootPos = 0, posInvalid
+			}
+			oprev += int64(u>>1) ^ -int64(u&1)
+			ev.Root = int32(oprev)
+
+			if bytPos < bytEnd {
+				if c := p[bytPos]; c < 0x80 {
+					u = uint64(c)
+					bytPos++
+				} else {
+					u, bytPos = readUvarintSlow(p, bytPos, bytEnd)
+				}
+			} else {
+				u, bytPos = 0, posInvalid
+			}
+			bprev += int64(u>>1) ^ -int64(u&1)
+			ev.Bytes = bprev
+		default:
+			return 0, fmt.Errorf("trace: block event %d has invalid kind %d", i, k)
+		}
+		dst[i] = ev
+	}
+
+	if thiPos != thiEnd || regPos != regEnd || commPos != commEnd ||
+		peerPos != peerEnd || tagPos != tagEnd || bytPos != bytEnd ||
+		collPos != collEnd || rootPos != rootEnd {
+		return 0, errors.New("trace: corrupt event block: columns do not match the kinds they serve")
+	}
+	return n, nil
+}
+
+// decodeV2Events decodes the v2 block stream following the header into
+// t.Events. Shared by DecodeBytesInterned for one-shot decodes; the
+// resumable path lives in ChunkDecoder and the block-at-a-time path in
+// BlockReader.
+func decodeV2Events(d *decoder, t *Trace, ne uint64) error {
+	if !d.checkCount("event", ne, minEventBytesV2, maxEventCount) {
+		return d.err
+	}
+	bs, err := decodeV2BlockSize(d)
+	if err != nil {
+		return err
+	}
+	if ne > 0 {
+		t.Events = make([]Event, ne)
+	}
+	for idx := 0; idx < len(t.Events); {
+		n, err := decodeV2Block(d, t.Events[idx:], bs)
+		if err != nil {
+			return err
+		}
+		idx += n
+	}
+	return nil
+}
+
+// BlockReader decodes a v2 trace image block by block: the header is
+// decoded eagerly, then each Next call materializes one block of
+// events into a caller-owned buffer. Next performs no allocations —
+// the replay hot path and the zero-alloc gate in script/check.sh
+// depend on that.
+type BlockReader struct {
+	d       decoder
+	t       *Trace
+	total   int
+	bs      int
+	start   int // byte offset of the first block, for Reset
+	decoded int
+}
+
+// NewBlockReader decodes the header of a v2 trace image and returns a
+// reader positioned at the first event block. Strings are interned
+// through in when non-nil. v1 images are rejected: the row stream has
+// no block structure to iterate (use DecodeBytesInterned instead).
+func NewBlockReader(data []byte, in *Interner) (*BlockReader, error) {
+	r := &BlockReader{d: decoder{data: data, intern: in}}
+	t, ne, err := decodeHeader(&r.d)
+	if err != nil {
+		return nil, err
+	}
+	if r.d.version != formatVersion2 {
+		return nil, fmt.Errorf("trace: BlockReader wants format v%d, image is v%d",
+			formatVersion2, r.d.version)
+	}
+	if !r.d.checkCount("event", ne, minEventBytesV2, maxEventCount) {
+		return nil, r.d.err
+	}
+	bs, err := decodeV2BlockSize(&r.d)
+	if err != nil {
+		return nil, err
+	}
+	r.t, r.total, r.bs = t, int(ne), bs
+	r.start = r.d.pos
+	return r, nil
+}
+
+// Reset rewinds the reader to the first event block without
+// reallocating, so one reader can iterate the same image repeatedly.
+func (r *BlockReader) Reset() {
+	r.d.pos = r.start
+	r.d.err = nil
+	r.decoded = 0
+}
+
+// Trace returns the decoded header: location, sync data, region table,
+// and communicator definitions, with a nil event slice.
+func (r *BlockReader) Trace() *Trace { return r.t }
+
+// Total returns the declared event count of the stream.
+func (r *BlockReader) Total() int { return r.total }
+
+// BlockSize returns the encoder's events-per-block choice; a buffer of
+// this length accommodates any block Next produces.
+func (r *BlockReader) BlockSize() int { return r.bs }
+
+// Trailing returns the number of unconsumed bytes past the reader's
+// position. Once Next has returned io.EOF, a non-zero result means the
+// image carries trailing garbage after its last block — the fault the
+// one-shot decoder rejects eagerly and a lazy consumer must check at
+// end of iteration.
+func (r *BlockReader) Trailing() int { return len(r.d.data) - r.d.pos }
+
+// Next decodes the next block into dst and returns the number of
+// events written, or io.EOF once every declared event was decoded.
+func (r *BlockReader) Next(dst []Event) (int, error) {
+	if r.decoded >= r.total {
+		return 0, io.EOF
+	}
+	n, err := decodeV2Block(&r.d, dst, r.bs)
+	if err != nil {
+		return 0, err
+	}
+	r.decoded += n
+	if r.decoded > r.total {
+		return 0, fmt.Errorf("trace: blocks hold more events than the declared count %d", r.total)
+	}
+	return n, nil
+}

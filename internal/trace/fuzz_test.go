@@ -3,17 +3,18 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
+	"math"
 	"strings"
 	"testing"
 
 	"metascope/internal/vclock"
 )
 
-// encodedSeeds returns encoded example traces covering every event
-// kind, used both as fuzz seeds and in the hardening tests.
-func encodedSeeds(t testing.TB) [][]byte {
-	t.Helper()
-	seeds := []*Trace{
+// seedTraces returns example traces covering every event kind, the
+// basis of the fuzz seed corpora in both encodings.
+func seedTraces() []*Trace {
+	return []*Trace{
 		sampleTrace(),
 		{Loc: Location{MetahostName: "tiny"}},
 		{
@@ -33,8 +34,13 @@ func encodedSeeds(t testing.TB) [][]byte {
 			},
 		},
 	}
+}
+
+// encodedSeeds returns the seed traces in the v1 row encoding.
+func encodedSeeds(t testing.TB) [][]byte {
+	t.Helper()
 	var out [][]byte
-	for _, tr := range seeds {
+	for _, tr := range seedTraces() {
 		var buf bytes.Buffer
 		if err := tr.Encode(&buf); err != nil {
 			t.Fatal(err)
@@ -42,6 +48,40 @@ func encodedSeeds(t testing.TB) [][]byte {
 		out = append(out, buf.Bytes())
 	}
 	return out
+}
+
+// encodedV2Seeds returns the seed traces in the v2 block encoding, with
+// a deliberately tiny block size on the last one so the corpus carries
+// a multi-block image.
+func encodedV2Seeds(t testing.TB) [][]byte {
+	t.Helper()
+	seeds := seedTraces()
+	var out [][]byte
+	for i, tr := range seeds {
+		bs := defaultBlockSize
+		if i == len(seeds)-1 {
+			bs = 2
+		}
+		var buf bytes.Buffer
+		if err := tr.encodeV2(&buf, bs); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
+}
+
+// encodeV1Bytes re-encodes tr in the v1 format. The fuzz targets judge
+// trace equality by comparing these bytes: the encoding is canonical,
+// and byte comparison stays exact on NaN time stamps, which defeat
+// reflect.DeepEqual.
+func encodeV1Bytes(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	return buf.Bytes()
 }
 
 // FuzzDecode feeds arbitrary bytes to the slice decoder. Whatever the
@@ -72,6 +112,102 @@ func FuzzDecode(f *testing.F) {
 		if len(again.Events) != len(tr.Events) || len(again.Regions) != len(tr.Regions) {
 			t.Fatalf("round trip changed shape: %d/%d events, %d/%d regions",
 				len(tr.Events), len(again.Events), len(tr.Regions), len(again.Regions))
+		}
+	})
+}
+
+// eventBitEqual compares two events with bit-exact time comparison.
+func eventBitEqual(a, b Event) bool {
+	return a.Kind == b.Kind && math.Float64bits(a.Time) == math.Float64bits(b.Time) &&
+		a.Region == b.Region && a.Comm == b.Comm && a.Peer == b.Peer &&
+		a.Tag == b.Tag && a.Bytes == b.Bytes && a.Coll == b.Coll && a.Root == b.Root
+}
+
+// FuzzDecodeV2 hammers the columnar block decoder: arbitrary bytes must
+// decode cleanly or fail cleanly; anything accepted must survive a v2
+// re-encode round trip; and on v2 images the block-at-a-time reader
+// must agree event for event with the one-shot decode.
+func FuzzDecodeV2(f *testing.F) {
+	for _, seed := range encodedV2Seeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte("MSCP\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		var v2 bytes.Buffer
+		if err := tr.EncodeV2(&v2); err != nil {
+			t.Fatalf("decoded trace failed to re-encode as v2: %v", err)
+		}
+		again, err := DecodeBytes(v2.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded v2 trace failed to decode: %v", err)
+		}
+		if !bytes.Equal(encodeV1Bytes(t, tr), encodeV1Bytes(t, again)) {
+			t.Fatal("v2 round trip changed the trace")
+		}
+		if fv, _ := FormatOf(data); fv != FormatV2 {
+			return
+		}
+		r, err := NewBlockReader(data, nil)
+		if err != nil {
+			t.Fatalf("one-shot decode accepted a v2 image BlockReader rejects: %v", err)
+		}
+		buf := make([]Event, r.BlockSize())
+		total := 0
+		for {
+			n, err := r.Next(buf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("block %d starting at event %d: %v", total/r.BlockSize(), total, err)
+			}
+			if total+n > len(tr.Events) {
+				t.Fatalf("blocks yielded %d events, one-shot decode %d", total+n, len(tr.Events))
+			}
+			for i := 0; i < n; i++ {
+				if !eventBitEqual(buf[i], tr.Events[total+i]) {
+					t.Fatalf("event %d differs between block and one-shot decode", total+i)
+				}
+			}
+			total += n
+		}
+		if total != len(tr.Events) {
+			t.Fatalf("blocks yielded %d events, one-shot decode %d", total, len(tr.Events))
+		}
+	})
+}
+
+// FuzzDecodeDifferential cross-checks the two encoders: any trace the
+// decoder accepts, in either format, must re-encode as v2 and decode
+// back to the identical trace — judged by byte-identical v1
+// re-encodings, so the check is exact even on NaN time stamps.
+func FuzzDecodeDifferential(f *testing.F) {
+	for _, seed := range encodedSeeds(f) {
+		f.Add(seed)
+	}
+	for _, seed := range encodedV2Seeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		ref := encodeV1Bytes(t, tr)
+		var v2 bytes.Buffer
+		if err := tr.EncodeV2(&v2); err != nil {
+			t.Fatalf("accepted trace failed to encode as v2: %v", err)
+		}
+		got, err := DecodeBytes(v2.Bytes())
+		if err != nil {
+			t.Fatalf("v2 image of an accepted trace failed to decode: %v", err)
+		}
+		if !bytes.Equal(ref, encodeV1Bytes(t, got)) {
+			t.Fatal("v1 → v2 → decode → v1 is not the identity")
 		}
 	})
 }

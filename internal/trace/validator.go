@@ -1,0 +1,67 @@
+package trace
+
+import "fmt"
+
+// StreamValidator applies (*Trace).Validate's per-event checks
+// incrementally, with identical messages, so a fault caught
+// post-mortem is caught at the same event when a trace is decoded as
+// a stream of chunks or blocks. ChunkDecoder and the replay layer's
+// lazy block logs share this one implementation.
+type StreamValidator struct {
+	loc      Location
+	known    map[RegionID]bool
+	depth    int
+	lastTime float64
+	n        int
+}
+
+// NewStreamValidator prepares a validator for a trace with the given
+// header: the location names errors, the region table defines which
+// Enter targets are known. Events themselves need not be present.
+func NewStreamValidator(t *Trace) *StreamValidator {
+	known := make(map[RegionID]bool, len(t.Regions))
+	for _, r := range t.Regions {
+		known[r.ID] = true
+	}
+	return &StreamValidator{loc: t.Loc, known: known}
+}
+
+// Event checks the next event of the stream. Errors are fatal to the
+// stream; callers must not continue validating past the first one.
+func (v *StreamValidator) Event(ev *Event) error {
+	i := v.n
+	if i > 0 && ev.Time < v.lastTime {
+		return fmt.Errorf("trace %v: event %d time %g before predecessor %g",
+			v.loc, i, ev.Time, v.lastTime)
+	}
+	v.lastTime = ev.Time
+	v.n++
+	switch ev.Kind {
+	case KindEnter:
+		if !v.known[ev.Region] {
+			return fmt.Errorf("trace %v: event %d enters unknown region %d", v.loc, i, ev.Region)
+		}
+		v.depth++
+	case KindExit:
+		v.depth--
+		if v.depth < 0 {
+			return fmt.Errorf("trace %v: event %d exit without matching enter", v.loc, i)
+		}
+	case KindSend, KindRecv, KindCollExit:
+		if v.depth == 0 {
+			return fmt.Errorf("trace %v: event %d %v outside any region", v.loc, i, ev.Kind)
+		}
+	default:
+		return fmt.Errorf("trace %v: event %d has invalid kind %d", v.loc, i, ev.Kind)
+	}
+	return nil
+}
+
+// Close checks the end-of-stream invariant: every entered region was
+// exited.
+func (v *StreamValidator) Close() error {
+	if v.depth != 0 {
+		return fmt.Errorf("trace %v: %d unclosed region(s) at end of trace", v.loc, v.depth)
+	}
+	return nil
+}

@@ -64,6 +64,25 @@ if ! echo "$out" | grep 'BenchmarkFlightDisabled' | grep -q '\b0 allocs/op'; the
 	exit 1
 fi
 
+# The v2 block decoder is the per-event hot path of lazy analysis: a
+# sweep decodes every block into a caller-provided buffer, so the
+# decoder itself must not allocate per call. Gate it exactly like the
+# flight recorder's disabled path.
+echo "== v2 block decode zero-alloc gate"
+out=$(go test -run '^$' -bench 'BenchmarkV2BlockDecode$' -benchmem -benchtime=10000x ./internal/trace)
+echo "$out" | grep 'BenchmarkV2BlockDecode' || { echo "check: v2 block decode benchmark did not run" >&2; exit 1; }
+if ! echo "$out" | grep 'BenchmarkV2BlockDecode' | grep -q '\b0 allocs/op'; then
+	echo "check: v2 block decode allocates per block" >&2
+	exit 1
+fi
+
+# The parallel wait-state post-pass must be a pure reordering of the
+# sequential reference: same scenario analyzed both ways must render
+# byte-identical artifacts. Pinned by name so a merge-order or
+# accumulator regression fails the gate with an unambiguous label.
+echo "== post-pass determinism smoke"
+go test -race -count=1 -run 'TestPostPassDeterminism' ./internal/conformance
+
 # Streaming determinism smoke: one conformance scenario fed chunk by
 # chunk through a live session must produce byte-identical cube and
 # profile artifacts to the post-mortem analysis of the same trace
