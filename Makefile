@@ -1,6 +1,6 @@
 # Convenience entry points; see script/check.sh for the tier-1 gate.
 
-.PHONY: check build test race vet bench conformance fuzz soak
+.PHONY: check build test race vet bench conformance fuzz soak scenarios
 
 check: ## gofmt + vet + build + race-enabled tests (tier-1 gate)
 	./script/check.sh
@@ -13,10 +13,15 @@ soak: ## minutes-long analysis-service soak under -race (the seconds-long tier r
 	METASCOPE_SOAK_SECONDS=$(or $(SOAK_SECONDS),60) go test -race -count=1 -v -run 'TestServeSoak' ./internal/serve
 
 FUZZTIME ?= 10s
-fuzz: ## coverage-guided fuzzing of both trace decoders (seed corpora alone run in plain `go test`); FUZZTIME=5m for a long local run
+fuzz: ## coverage-guided fuzzing of the trace decoders and scenario parser (seed corpora alone run in plain `go test`); FUZZTIME=5m for a long local run
 	go test ./internal/trace -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime $(FUZZTIME)
 	go test ./internal/trace -run '^$$' -fuzz 'FuzzDecodeV2$$' -fuzztime $(FUZZTIME)
 	go test ./internal/trace -run '^$$' -fuzz 'FuzzDecodeDifferential$$' -fuzztime $(FUZZTIME)
+	go test ./internal/scenario -run '^$$' -fuzz 'FuzzScenarioParse$$' -fuzztime $(FUZZTIME)
+
+scenarios: ## compile, run, and oracle-check every library scenario across both trace formats
+	go test ./internal/conformance -count=1 -v -run 'TestKernelOracle|TestKernelTruncationFails'
+	go test ./internal/scenario -count=1 -run 'TestLibraryCompiles|TestArchiveDeterminism'
 
 build:
 	go build ./...

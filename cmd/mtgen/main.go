@@ -1,0 +1,313 @@
+// mtgen compiles a declarative scenario into a synthetic metacomputing
+// workload, runs it on the simulated testbed, and delivers the trace
+// archive — to memory (printing the digest), to disk, or to a live
+// mtserved analysis session over the chunk protocol:
+//
+//	mtgen -list                            # shipped scenario library
+//	mtgen -library halo2d -describe        # compiled plan, no run
+//	mtgen -library masterworker -out ./run # archives on disk
+//	mtgen scenario.yaml -format v1 -seed 7 # scenario file, v1 archive
+//	mtgen -library amr -serve http://host:8080 -chunk 4096
+//
+// Every scenario compiles to a closed-form expectation of the wait
+// states the analyzer must find; the archive digest printed on every
+// run is deterministic in (scenario, seed, format).
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"metascope"
+	"metascope/internal/archive"
+	"metascope/internal/obs"
+	"metascope/internal/scenario"
+	"metascope/internal/trace"
+	"metascope/internal/vclock"
+)
+
+// options carries the parsed flags so run stays independent of the
+// global flag set (and therefore testable against golden files).
+type options struct {
+	list     bool
+	library  string
+	describe bool
+	out      string
+	format   string
+	seed     int64
+	serve    string
+	chunk    int
+	scheme   string
+	title    string
+}
+
+func run(o options, args []string, out io.Writer) error {
+	if o.list {
+		return listLibrary(out)
+	}
+	p, name, err := loadProgram(o, args)
+	if err != nil {
+		return err
+	}
+	if o.describe {
+		fmt.Fprint(out, p.Describe())
+		return nil
+	}
+	format, err := trace.ParseFormat(o.format)
+	if err != nil {
+		return err
+	}
+	if format == trace.FormatDefault {
+		format = trace.FormatV2
+	}
+	p.Spec.Format = format
+	title := o.title
+	if title == "" {
+		title = p.Spec.Name
+	}
+
+	e, err := p.NewExperiment(title, o.seed)
+	if err != nil {
+		return err
+	}
+	if o.out != "" {
+		mounts := archive.NewMounts()
+		for _, mh := range e.Topo.Metahosts {
+			fs, err := archive.NewDirFS(filepath.Join(o.out, mh.Name))
+			if err != nil {
+				return err
+			}
+			mounts.Mount(mh.ID, fs)
+		}
+		e.UseMounts(mounts)
+	}
+	if err := e.Run(p.Body); err != nil {
+		return err
+	}
+	if err := p.PostProcess(e.Mounts(), e.ArchiveDir); err != nil {
+		return err
+	}
+
+	files, digest, err := archiveDigest(e)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "scenario %q: kernel %s, %d ranks, %d phases, %.2f s virtual time\n",
+		name, p.Spec.Kernel, p.N(), p.Phases(), e.Engine().Now())
+	fmt.Fprintf(out, "archive %s (%s): %d files, sha256 %s\n", e.ArchiveDir, format, files, digest)
+	if o.out != "" {
+		fmt.Fprintf(out, "archives written under %s (one subdirectory per metahost)\n", o.out)
+		fmt.Fprintf(out, "analyze with: mtanalyze -in %s -archive %s\n", o.out, e.ArchiveDir)
+	}
+	if o.serve != "" {
+		return submit(o, p, e, out)
+	}
+	return nil
+}
+
+func listLibrary(out io.Writer) error {
+	for _, name := range scenario.LibraryNames() {
+		p, err := scenario.LoadLibrary(name)
+		if err != nil {
+			return err
+		}
+		kind := "exact oracle"
+		if p.Expect.Err {
+			kind = "analysis must fail"
+		}
+		fmt.Fprintf(out, "%-14s %-13s %2d ranks, %d iterations, %s\n",
+			name, p.Spec.Kernel, p.N(), p.Spec.Iterations, kind)
+	}
+	return nil
+}
+
+func loadProgram(o options, args []string) (*scenario.Program, string, error) {
+	switch {
+	case o.library != "" && len(args) > 0:
+		return nil, "", fmt.Errorf("pass either -library NAME or a scenario file, not both")
+	case o.library != "":
+		p, err := scenario.LoadLibrary(o.library)
+		if err != nil {
+			return nil, "", err
+		}
+		return p, o.library, nil
+	case len(args) == 1:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := scenario.Load(src)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", args[0], err)
+		}
+		return p, args[0], nil
+	default:
+		return nil, "", fmt.Errorf("usage: mtgen [-library NAME | scenario.yaml] [flags] (see -list)")
+	}
+}
+
+// archiveDigest hashes every archive file in (metahost, path) order.
+func archiveDigest(e *metascope.Experiment) (files int, digest string, err error) {
+	h := sha256.New()
+	for _, mh := range e.Place.MetahostsUsed() {
+		fs := e.Mounts().For(mh)
+		names, err := fs.List(e.ArchiveDir)
+		if err != nil {
+			return 0, "", err
+		}
+		sort.Strings(names)
+		for _, f := range names {
+			data, err := archive.ReadFile(fs, e.ArchiveDir+"/"+f)
+			if err != nil {
+				return 0, "", err
+			}
+			fmt.Fprintf(h, "%d/%s/%d\n", mh, f, len(data))
+			h.Write(data)
+			files++
+		}
+	}
+	return files, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// sessionStatus is the subset of the mtserved session document the
+// uploader needs.
+type sessionStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// submit streams the experiment's trace files to a live mtserved
+// analysis session over the chunk protocol, round-robin across ranks.
+func submit(o options, p *scenario.Program, e *metascope.Experiment, out io.Writer) error {
+	if _, err := vclock.ParseScheme(o.scheme); err != nil {
+		return err
+	}
+	blobs := make([][]byte, p.N())
+	mhs := make([]int, p.N())
+	for r := 0; r < p.N(); r++ {
+		loc := e.Place.Loc(r)
+		data, err := archive.ReadFile(e.Mounts().For(loc.Metahost), archive.TraceFile(e.ArchiveDir, r))
+		if err != nil {
+			return err
+		}
+		blobs[r], mhs[r] = data, loc.Metahost
+	}
+
+	base := strings.TrimRight(o.serve, "/")
+	q := url.Values{}
+	q.Set("ranks", fmt.Sprint(p.N()))
+	q.Set("scheme", o.scheme)
+	q.Set("title", e.Title)
+	st, err := postStatus(base + "/v1/sessions?" + q.Encode())
+	if err != nil {
+		return fmt.Errorf("creating session: %w", err)
+	}
+	fmt.Fprintf(out, "serve: session %s open (%d ranks, scheme %s)\n", st.ID, p.N(), o.scheme)
+
+	offs := make([]int, p.N())
+	seqs := make([]int64, p.N())
+	sent := 0
+	for {
+		progressed := false
+		for r, b := range blobs {
+			if offs[r] >= len(b) {
+				continue
+			}
+			end := offs[r] + o.chunk
+			if end > len(b) {
+				end = len(b)
+			}
+			u := fmt.Sprintf("%s/v1/sessions/%s/ranks/%d/%d?seq=%d", base, st.ID, mhs[r], r, seqs[r])
+			if end == len(b) {
+				u += "&last=1"
+			}
+			req, err := http.NewRequest(http.MethodPut, u, bytes.NewReader(b[offs[r]:end]))
+			if err != nil {
+				return err
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return err
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("chunk rank %d seq %d: HTTP %d %s", r, seqs[r], resp.StatusCode, body)
+			}
+			sent += end - offs[r]
+			offs[r] = end
+			seqs[r]++
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	final, err := postStatus(base + "/v1/sessions/" + st.ID + "/finalize?wait=60s")
+	if err != nil {
+		return fmt.Errorf("finalizing session: %w", err)
+	}
+	if final.State != "done" {
+		return fmt.Errorf("session %s ended in state %q: %s", st.ID, final.State, final.Error)
+	}
+	fmt.Fprintf(out, "serve: session %s done, %d bytes in %d ranks\n", st.ID, sent, p.N())
+	fmt.Fprintf(out, "serve: result at %s/v1/experiments/%s/result\n", base, st.ID)
+	return nil
+}
+
+// postStatus POSTs and decodes the session document, accepting any
+// 2xx (session creation answers 201, a finalize that has to wait 202).
+func postStatus(url string) (sessionStatus, error) {
+	var st sessionStatus
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(resp.Body)
+		return st, fmt.Errorf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+func main() {
+	cli := obs.RegisterCLIFlags("mtgen", flag.CommandLine, nil)
+	o := options{}
+	flag.BoolVar(&o.list, "list", false, "list the shipped scenario library and exit")
+	flag.StringVar(&o.library, "library", "", "run a shipped scenario by name instead of a file")
+	flag.BoolVar(&o.describe, "describe", false, "print the compiled plan and exit without running")
+	flag.StringVar(&o.out, "out", "", "write archives under this directory (one subdirectory per metahost)")
+	flag.StringVar(&o.format, "format", "", "trace file format: v1 | v2 (default: v2)")
+	flag.Int64Var(&o.seed, "seed", 1, "experiment seed (placement noise, clock phases)")
+	flag.StringVar(&o.serve, "serve", "", "submit the archive to this mtserved base URL as a live session")
+	flag.IntVar(&o.chunk, "chunk", 4096, "chunk size in bytes for -serve uploads")
+	flag.StringVar(&o.scheme, "scheme", "hier", "sync scheme for -serve sessions: flat1 | flat2 | hier")
+	flag.StringVar(&o.title, "title", "", "experiment title (default: scenario name)")
+	flag.Parse()
+	cli.Start()
+
+	err := run(o, flag.Args(), os.Stdout)
+	if ferr := cli.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		obs.Fatal("mtgen failed", "err", err)
+	}
+}

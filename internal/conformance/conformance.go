@@ -290,49 +290,20 @@ func (m Mismatch) String() string {
 //   - every other wait-state family stays zero.
 func CheckOracle(rep *cube.Report, s Scenario, scale float64, tol Tolerance) []Mismatch {
 	want := s.Expected()
-	baseKey := s.Base.MetricKey()
-	gridKey := s.Base.Gridded().MetricKey()
-	completions := map[string]bool{}
+	keys := map[string]map[int]float64{s.Base.MetricKey(): want}
+	if s.Grid {
+		// The grid child carries the full planted value; the base
+		// family total is subtree-inclusive, so both match want.
+		keys[s.Base.Gridded().MetricKey()] = want
+	}
+	bounds := map[string]float64{}
 	switch s.Base {
 	case pattern.WaitBarrier:
-		completions[pattern.KeyBarrierComp] = true
+		bounds[pattern.KeyBarrierComp] = CompletionBound
 	case pattern.WaitNxN:
-		completions[pattern.KeyNxNComp] = true
+		bounds[pattern.KeyNxNComp] = CompletionBound
 	}
-	var out []Mismatch
-	check := func(rank int, key string, got, wantV float64) {
-		if math.Abs(got-wantV) > tol.For(wantV) {
-			out = append(out, Mismatch{Rank: rank, Key: key, Got: got, Want: wantV, Tol: tol.For(wantV)})
-		}
-	}
-	for r := 0; r < s.N(); r++ {
-		w := want[r] * scale
-		check(r, baseKey, rep.RankMetricTotal(baseKey, r), w)
-		if gridKey != baseKey {
-			gw := 0.0
-			if s.Grid {
-				gw = w
-			}
-			check(r, gridKey, rep.RankMetricTotal(gridKey, r), gw)
-		}
-		if s.Base == pattern.LateSender {
-			check(r, pattern.KeyWrongOrder, rep.RankMetricTotal(pattern.KeyWrongOrder, r), 0)
-		}
-		for _, key := range pattern.WaitStateKeys() {
-			if key == baseKey || key == gridKey || (key == pattern.KeyWrongOrder && s.Base == pattern.LateSender) {
-				continue
-			}
-			got := rep.RankMetricTotal(key, r)
-			if completions[key] {
-				if got < 0 || got > CompletionBound {
-					out = append(out, Mismatch{Rank: r, Key: key, Got: got, Want: 0, Tol: CompletionBound})
-				}
-				continue
-			}
-			check(r, key, got, 0)
-		}
-	}
-	return out
+	return CheckKeys(rep, s.N(), keys, bounds, scale, tol)
 }
 
 // RunResult bundles one executed scenario with its analyses.

@@ -1,0 +1,83 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"metascope"
+	"metascope/internal/cube"
+	"metascope/internal/pattern"
+	"metascope/internal/replay"
+	"metascope/internal/scenario"
+	"metascope/internal/trace"
+	"metascope/internal/vclock"
+)
+
+// CheckKeys is the generalized oracle assertion: for every rank and
+// every wait-state metric key, the report's subtree-inclusive total
+// must match keys[key][rank]·scale within tol — keys absent from the
+// expectation must analyze to exactly zero. Metrics listed in bounds
+// have no closed form (collective completion skew) and are instead
+// required to stay within [0, bound].
+//
+// CheckOracle is this check specialized to the single-pattern planted
+// scenarios; generated kernel workloads (internal/scenario) carry
+// multi-key expectations and use CheckKeys directly.
+func CheckKeys(rep *cube.Report, n int, keys map[string]map[int]float64, bounds map[string]float64, scale float64, tol Tolerance) []Mismatch {
+	var out []Mismatch
+	for r := 0; r < n; r++ {
+		for _, key := range pattern.WaitStateKeys() {
+			got := rep.RankMetricTotal(key, r)
+			if bound, ok := bounds[key]; ok {
+				if got < 0 || got > bound {
+					out = append(out, Mismatch{Rank: r, Key: key, Got: got, Want: 0, Tol: bound})
+				}
+				continue
+			}
+			want := keys[key][r] * scale
+			if math.Abs(got-want) > tol.For(want) {
+				out = append(out, Mismatch{Rank: r, Key: key, Got: got, Want: want, Tol: tol.For(want)})
+			}
+		}
+	}
+	return out
+}
+
+// CheckKernel compares a report against a compiled scenario program's
+// closed-form expectation.
+func CheckKernel(rep *cube.Report, p *scenario.Program, scale float64, tol Tolerance) []Mismatch {
+	return CheckKeys(rep, p.N(), p.Expect.Keys, p.Expect.Bounds, scale, tol)
+}
+
+// KernelRun bundles one executed generated-workload scenario with its
+// analyses, the kernel analogue of RunResult.
+type KernelRun struct {
+	Program *scenario.Program
+	Exp     *metascope.Experiment
+	Scale   float64
+	Results map[vclock.Scheme]*replay.Result
+}
+
+// RunKernel loads a library scenario, overrides its trace format, runs
+// it through the normal pipeline (including post-measurement fault
+// injection), and analyzes the archive under every requested scheme.
+func RunKernel(name string, format trace.Format, seed int64, schemes ...vclock.Scheme) (*KernelRun, error) {
+	prog, err := scenario.LoadLibrary(name)
+	if err != nil {
+		return nil, err
+	}
+	prog.Spec.Format = format
+	e, err := prog.Run(fmt.Sprintf("kern-%s-%s", name, format), seed)
+	if err != nil {
+		return nil, fmt.Errorf("kernel %s: measuring: %w", name, err)
+	}
+	kr := &KernelRun{Program: prog, Exp: e, Scale: MasterScale(e), Results: make(map[vclock.Scheme]*replay.Result, len(schemes))}
+	for _, sch := range schemes {
+		res, err := e.Analyze(sch)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: analyzing (%v): %w", name, sch, err)
+		}
+		kr.Results[sch] = res
+	}
+	return kr, nil
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"metascope/internal/replay"
+	"metascope/internal/scenario"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
@@ -271,6 +272,72 @@ func TestStreamingOracle(t *testing.T) {
 						if got := gotByMH[mh]; math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
 							t.Errorf("streamed %s mass at mh%d %.12g, cube total %.12g", baseKey, mh, got, want)
 						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestStreamingKernelOracle extends the streaming arm to generated
+// workloads: the stencil and master-worker kernels, fed
+// chunk-by-chunk through a live session under each adversarial
+// chunking (v2, plus one v1 plan), must reproduce the post-mortem
+// analysis byte-for-byte and still satisfy their compiled multi-key
+// expectations.
+func TestStreamingKernelOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming kernel matrix is not -short")
+	}
+	for _, name := range []string{"halo1d", "masterworker"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := scenario.LoadLibrary(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := prog.Run("stream-kern-"+name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scale := MasterScale(e)
+			traces, err := e.Traces()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs := encodeRanks(t, traces, trace.FormatV2)
+			cfg := replay.Config{Scheme: vclock.Hierarchical, Title: "stream-kern-" + name}
+			postTraces, err := e.Traces()
+			if err != nil {
+				t.Fatal(err)
+			}
+			post, err := replay.Analyze(postTraces, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantReport, wantProf := renderArtifacts(t, post)
+			if mm := CheckKernel(post.Report, prog, scale, ExactTol); len(mm) != 0 {
+				t.Fatalf("post-mortem baseline fails the kernel oracle: %v", mm)
+			}
+
+			plans := chunkPlans(blobs)
+			plans["v1-round-robin-small"] = chunkPlans(encodeRanks(t, traces, trace.FormatV1))["round-robin-small"]
+			for planName, plan := range plans {
+				planName, plan := planName, plan
+				t.Run(planName, func(t *testing.T) {
+					res, _ := streamPlan(t, cfg, len(blobs), plan)
+					gotReport, gotProf := renderArtifacts(t, res)
+					if !bytes.Equal(gotReport, wantReport) {
+						t.Errorf("report bytes differ from post-mortem (%d vs %d bytes)",
+							len(gotReport), len(wantReport))
+					}
+					if !bytes.Equal(gotProf, wantProf) {
+						t.Errorf("profile bytes differ from post-mortem (%d vs %d bytes)",
+							len(gotProf), len(wantProf))
+					}
+					if mm := CheckKernel(res.Report, prog, scale, ExactTol); len(mm) != 0 {
+						t.Errorf("streamed result fails the kernel oracle: %v", mm)
 					}
 				})
 			}

@@ -1,0 +1,69 @@
+package mmpi
+
+import (
+	"testing"
+
+	"metascope/internal/sim"
+	"metascope/internal/topology"
+)
+
+// crossRTT measures one round trip between two ranks of a fresh world
+// with the given cross-traffic hook installed.
+func crossRTT(t *testing.T, hook func(now float64, class topology.LinkClass) float64) float64 {
+	t.Helper()
+	mc := testTopo()
+	p := topology.NewPlacement(mc)
+	p.MustPlace(0, 0, 1, 1)
+	p.MustPlace(1, 0, 1, 1) // cross-metahost pair: external link
+	w := NewWorld(sim.NewEngine(7), p)
+	w.AsymFrac = 0
+	w.CrossTraffic = hook
+	var rtt float64
+	err := w.Run(func(pr *Proc) {
+		c := pr.World()
+		switch pr.Rank() {
+		case 0:
+			t0 := pr.Now()
+			c.Send(1, 5, 64)
+			c.Recv(1, 5)
+			rtt = pr.Now() - t0
+		case 1:
+			c.Recv(0, 5)
+			c.Send(0, 5, 64)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rtt
+}
+
+// TestCrossTrafficHook proves the hook injects latency per link class
+// and that negative returns are ignored.
+func TestCrossTrafficHook(t *testing.T) {
+	base := crossRTT(t, nil)
+	const extra = 3e-3
+	withBurst := crossRTT(t, func(now float64, class topology.LinkClass) float64 {
+		if class == topology.External {
+			return extra
+		}
+		return 0
+	})
+	// Both directions of the round trip pay the burst.
+	if got, want := withBurst-base, 2*extra; got < want*0.99 || got > want*1.01 {
+		t.Errorf("external burst added %.6f s to the RTT, want ~%.6f", got, want)
+	}
+	negated := crossRTT(t, func(now float64, class topology.LinkClass) float64 { return -1 })
+	if negated != base {
+		t.Errorf("negative hook return changed the RTT: %.9f vs %.9f", negated, base)
+	}
+	internalOnly := crossRTT(t, func(now float64, class topology.LinkClass) float64 {
+		if class == topology.Internal {
+			return extra
+		}
+		return 0
+	})
+	if internalOnly != base {
+		t.Errorf("internal-class burst leaked onto an external pair: %.9f vs %.9f", internalOnly, base)
+	}
+}

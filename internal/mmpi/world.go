@@ -37,6 +37,14 @@ type World struct {
 	eng        *sim.Engine
 	place      *topology.Placement
 	EagerLimit int
+	// CrossTraffic, when non-nil, returns extra one-way latency
+	// (seconds) injected into every message sampled at simulation time
+	// now over a link of the given class. Scenario generators use it
+	// for time-windowed WAN cross-traffic bursts without disturbing
+	// the static topology description. The hook must be a pure
+	// function of its arguments (determinism) and non-negative
+	// returns only; negative values are ignored.
+	CrossTraffic func(now float64, class topology.LinkClass) float64
 	// AsymFrac scales the fixed per-route latency asymmetry: every
 	// ordered pair of nodes gets a constant one-way latency offset
 	// drawn uniformly from ±AsymFrac·latency (antisymmetric between
@@ -230,6 +238,11 @@ func (w *World) sampleLatency(a, b int) float64 {
 	}
 	if lat < l.LatencyMean/8 {
 		lat = l.LatencyMean / 8
+	}
+	if w.CrossTraffic != nil {
+		if extra := w.CrossTraffic(w.eng.Now(), class); extra > 0 {
+			lat += extra
+		}
 	}
 	return lat
 }

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzScenarioParse feeds arbitrary documents through the full
+// Parse+Compile front end. The contract under fuzzing: never panic,
+// never hang, and every rejection is a structured *Error. The seed
+// corpus (f.Add below plus testdata/fuzz/FuzzScenarioParse) mixes the
+// shipped library with hostile documents so the fuzzer starts from
+// both sides of the validity boundary.
+func FuzzScenarioParse(f *testing.F) {
+	for _, name := range LibraryNames() {
+		src, err := LibrarySource(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	for _, hostile := range []string{
+		"",
+		"kernel: halo1d",
+		"kernel: halo1d\nranks: 0\n",
+		"kernel: halo2d\nranks: 7\nparams: {px: 2, py: 2}\n",
+		"kernel: halo1d\nranks: 4\ntopology:\n  metahosts:\n    - name: A\n      nodes: 4\n      internal: {latency_us: -1, bandwidth_gbps: 8}\n",
+		"kernel: halo1d\nranks: 4\ntopology:\n  metahosts:\n    - name: A\n      nodes: 4\n      internal: {latency_us: 20, bandwidth_gbps: 8}\n      clock: {max_drift_ppm: NaN}\n",
+		"kernel: halo1d\nranks: 4\nfaults:\n  truncate:\n    - {rank: 1, keep: -3}\n",
+		"{\"kernel\": \"halo1d\", \"ranks\": 1e99}",
+		"kernel: halo1d\nkernel: halo1d\nranks: 4\n",
+		"\xff\xfe\x00bogus",
+		"a:\n - - - - [{,}]\n",
+	} {
+		f.Add([]byte(hostile))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		sp, err := Parse(src)
+		if err != nil {
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("Parse error is %T, want *scenario.Error: %v", err, err)
+			}
+			if sp != nil {
+				t.Fatal("Parse returned both a spec and an error")
+			}
+			return
+		}
+		if sp == nil {
+			t.Fatal("Parse returned neither spec nor error")
+		}
+		// A spec that parsed and validated must also compile without
+		// panicking; compile-time rejections stay structured.
+		if _, err := sp.Compile(); err != nil {
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("Compile error is %T, want *scenario.Error: %v", err, err)
+			}
+		}
+	})
+}

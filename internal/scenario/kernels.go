@@ -1,0 +1,270 @@
+package scenario
+
+import (
+	"fmt"
+
+	"metascope/internal/pattern"
+)
+
+// The kernel planners below produce the aligned phase list and, in the
+// same pass, the closed-form expectation. The forms rely on three
+// facts of the measurement and replay layers, verified by the
+// conformance suite:
+//
+//   - a send event carries its enclosing MPI region's enter time, and
+//     no simulated time passes between entering the region and
+//     recording the send, so sendEnter = alignment point + work done
+//     before the call;
+//   - Late Sender severity is clamp(sendEnter − recvEnter,
+//     recvDone − recvEnter), so with eager payloads it reduces to the
+//     difference of the planned work amounts, independent of latency;
+//   - Wait-at-Barrier/NxN severity is maxEnter − myEnter, again a pure
+//     difference of work amounts.
+//
+// Each planner draws work deterministically from the scenario PRNG in
+// documented order (rank-major within each phase), so recompiling a
+// Spec always reproduces the same tables and expectation.
+
+// pairLS records the Late Sender expectation for one Sendrecv pair:
+// whichever rank enters the exchange earlier waits for the other's
+// send by exactly the work difference.
+func (c *planCtx) pairLS(a, b int, work []float64) {
+	grid := c.crossMH(a, b)
+	if d := work[b] - work[a]; d > 0 {
+		c.exp.add(pattern.KeyLateSender, a, d)
+		if grid {
+			c.exp.add(pattern.KeyGridLS, a, d)
+		}
+	}
+	if d := work[a] - work[b]; d > 0 {
+		c.exp.add(pattern.KeyLateSender, b, d)
+		if grid {
+			c.exp.add(pattern.KeyGridLS, b, d)
+		}
+	}
+}
+
+// planHalo1D is a 1-D halo-exchange stencil: each iteration exchanges
+// boundaries with the left and right neighbours in two parallel
+// phases (even pairs, then odd pairs), one Sendrecv per rank per
+// phase.
+func planHalo1D(c *planCtx) []phase {
+	sp := c.sp
+	n := sp.Ranks
+	var phases []phase
+	for it := 0; it < sp.Iterations; it++ {
+		for par := 0; par < 2; par++ {
+			ph := phase{
+				name: fmt.Sprintf("iter%d/%s", it, [2]string{"even", "odd"}[par]),
+				work: make([]float64, n),
+				ops:  make([]rankOp, n),
+			}
+			for r := 0; r < n; r++ {
+				ph.work[r] = c.draw(r, it)
+			}
+			for a := par; a+1 < n; a += 2 {
+				b := a + 1
+				ph.ops[a] = rankOp{kind: opSendrecv, peer: b}
+				ph.ops[b] = rankOp{kind: opSendrecv, peer: a}
+				c.pairLS(a, b, ph.work)
+			}
+			phases = append(phases, ph)
+		}
+	}
+	return phases
+}
+
+// planHalo2D is the 2-D stencil on a px × py process grid (rank =
+// y·px + x): four exchange phases per iteration — x-even, x-odd,
+// y-even, y-odd — with fresh work draws per phase.
+func planHalo2D(c *planCtx) []phase {
+	sp := c.sp
+	px, py := sp.Params.PX, sp.Params.PY
+	n := sp.Ranks
+	var phases []phase
+	addPhase := func(it int, name string, pair func(ph *phase)) {
+		ph := phase{
+			name: fmt.Sprintf("iter%d/%s", it, name),
+			work: make([]float64, n),
+			ops:  make([]rankOp, n),
+		}
+		for r := 0; r < n; r++ {
+			ph.work[r] = c.draw(r, it)
+		}
+		pair(&ph)
+		phases = append(phases, ph)
+	}
+	for it := 0; it < sp.Iterations; it++ {
+		for par := 0; par < 2; par++ {
+			addPhase(it, fmt.Sprintf("x-%s", [2]string{"even", "odd"}[par]), func(ph *phase) {
+				for y := 0; y < py; y++ {
+					for x := par; x+1 < px; x += 2 {
+						a := y*px + x
+						b := a + 1
+						ph.ops[a] = rankOp{kind: opSendrecv, peer: b}
+						ph.ops[b] = rankOp{kind: opSendrecv, peer: a}
+						c.pairLS(a, b, ph.work)
+					}
+				}
+			})
+		}
+		for par := 0; par < 2; par++ {
+			addPhase(it, fmt.Sprintf("y-%s", [2]string{"even", "odd"}[par]), func(ph *phase) {
+				for x := 0; x < px; x++ {
+					for y := par; y+1 < py; y += 2 {
+						a := y*px + x
+						b := a + px
+						ph.ops[a] = rankOp{kind: opSendrecv, peer: b}
+						ph.ops[b] = rankOp{kind: opSendrecv, peer: a}
+						c.pairLS(a, b, ph.work)
+					}
+				}
+			})
+		}
+	}
+	return phases
+}
+
+// planMasterWorker is a master-worker round: rank 0 prepares one task
+// per worker (skewed per-task costs) and hands them out in rank
+// order, so worker w's Late Sender wait is the prefix sum of the
+// preparation costs; then every worker processes its result and sends
+// it back while the master waits in a Waitall, accumulating the sum
+// of all collect costs as Late Sender.
+func planMasterWorker(c *planCtx) []phase {
+	sp := c.sp
+	n := sp.Ranks
+	workers := make([]int, n-1)
+	for i := range workers {
+		workers[i] = i + 1
+	}
+	var phases []phase
+	for it := 0; it < sp.Iterations; it++ {
+		h := phase{
+			name: fmt.Sprintf("iter%d/handout", it),
+			work: make([]float64, n),
+			ops:  make([]rankOp, n),
+		}
+		prep := make([]float64, len(workers))
+		cum := 0.0
+		for i, w := range workers {
+			u := sp.Params.Prep + sp.Params.PrepSpread*c.rng.float()
+			prep[i] = u * c.stragglerFactor(0, it) / c.speed[0]
+			cum += prep[i]
+			c.exp.add(pattern.KeyLateSender, w, cum)
+			if c.crossMH(0, w) {
+				c.exp.add(pattern.KeyGridLS, w, cum)
+			}
+			h.ops[w] = rankOp{kind: opRecv, peer: 0}
+		}
+		h.ops[0] = rankOp{kind: opHandout, workers: workers, prep: prep}
+		phases = append(phases, h)
+
+		col := phase{
+			name: fmt.Sprintf("iter%d/collect", it),
+			work: make([]float64, n),
+			ops:  make([]rankOp, n),
+		}
+		for _, w := range workers {
+			u := sp.Params.Collect + sp.Params.CollectSpread*c.rng.float()
+			cw := u * c.stragglerFactor(w, it) / c.speed[w]
+			col.work[w] = cw
+			col.ops[w] = rankOp{kind: opSend, peer: 0}
+			c.exp.add(pattern.KeyLateSender, 0, cw)
+			if c.crossMH(0, w) {
+				c.exp.add(pattern.KeyGridLS, 0, cw)
+			}
+		}
+		col.ops[0] = rankOp{kind: opCollect, workers: workers}
+		phases = append(phases, col)
+	}
+	return phases
+}
+
+// inWindow reports whether rank r falls inside the circular window of
+// the given width starting at start.
+func inWindow(r, start, width, n int) bool {
+	d := r - start
+	if d < 0 {
+		d += n
+	}
+	return d < width
+}
+
+// planAMR models adaptive mesh refinement imbalance: a refinement
+// window of Window ranks carries Amp extra work each iteration, the
+// window marching around the rank ring, followed by a barrier. Every
+// rank's Wait-at-Barrier severity is the distance to the heaviest
+// rank's work.
+func planAMR(c *planCtx) []phase {
+	sp := c.sp
+	n := sp.Ranks
+	var phases []phase
+	for it := 0; it < sp.Iterations; it++ {
+		ph := phase{
+			name: fmt.Sprintf("iter%d/refine", it),
+			work: make([]float64, n),
+			ops:  make([]rankOp, n),
+		}
+		start := (it * sp.Params.Window) % n
+		for r := 0; r < n; r++ {
+			u := sp.Work.Base + sp.Work.Spread*c.rng.float()
+			if inWindow(r, start, sp.Params.Window, n) {
+				u += sp.Params.Amp
+			}
+			ph.work[r] = u * c.stragglerFactor(r, it) / c.speed[r]
+			ph.ops[r] = rankOp{kind: opBarrier}
+		}
+		mx := 0.0
+		for _, w := range ph.work {
+			if w > mx {
+				mx = w
+			}
+		}
+		for r := 0; r < n; r++ {
+			c.exp.add(pattern.KeyWaitBarrier, r, mx-ph.work[r])
+			if c.spanning {
+				c.exp.add(pattern.KeyGridWB, r, mx-ph.work[r])
+			}
+		}
+		phases = append(phases, ph)
+	}
+	c.exp.Bounds[pattern.KeyBarrierComp] = float64(sp.Iterations) * CompletionPerCall
+	return phases
+}
+
+// planStraggler is bulk-synchronous uniform work closed by an
+// Allreduce, with the imbalance coming entirely from the scenario's
+// straggler faults: every rank's Wait-at-NxN severity is the distance
+// to the slowest rank.
+func planStraggler(c *planCtx) []phase {
+	sp := c.sp
+	n := sp.Ranks
+	var phases []phase
+	for it := 0; it < sp.Iterations; it++ {
+		ph := phase{
+			name: fmt.Sprintf("iter%d/step", it),
+			work: make([]float64, n),
+			ops:  make([]rankOp, n),
+		}
+		for r := 0; r < n; r++ {
+			ph.work[r] = c.draw(r, it)
+			ph.ops[r] = rankOp{kind: opAllreduce}
+		}
+		mx := 0.0
+		for _, w := range ph.work {
+			if w > mx {
+				mx = w
+			}
+		}
+		for r := 0; r < n; r++ {
+			c.exp.add(pattern.KeyWaitNxN, r, mx-ph.work[r])
+			if c.spanning {
+				c.exp.add(pattern.KeyGridNxN, r, mx-ph.work[r])
+			}
+		}
+		phases = append(phases, ph)
+	}
+	c.exp.Bounds[pattern.KeyNxNComp] = float64(sp.Iterations) * CompletionPerCall
+	return phases
+}

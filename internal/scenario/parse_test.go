@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseMinimalYAML(t *testing.T) {
+	t.Parallel()
+	sp, err := Parse([]byte("kernel: halo1d\nranks: 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kernel != KernelHalo1D || sp.Ranks != 4 {
+		t.Fatalf("got kernel=%q ranks=%d", sp.Kernel, sp.Ranks)
+	}
+	if sp.Name != "halo1d" {
+		t.Errorf("default name = %q, want kernel name", sp.Name)
+	}
+	if sp.Iterations != 2 || sp.Seed != 1 || sp.Bytes != 2048 {
+		t.Errorf("defaults: iterations=%d seed=%d bytes=%d", sp.Iterations, sp.Seed, sp.Bytes)
+	}
+	if sp.Topology.Preset != "conformance" || sp.Topology.Count != 2 {
+		t.Errorf("default topology: %+v", sp.Topology)
+	}
+	if sp.Schedule.Align != 2.0 || sp.Schedule.Slack != 0.25 {
+		t.Errorf("default schedule: %+v", sp.Schedule)
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	t.Parallel()
+	src := `{
+		"kernel": "straggler",
+		"ranks": 4,
+		"work": {"base": 0.15, "spread": 0},
+		"faults": {"stragglers": [{"rank": 2, "factor": 3.0, "from": 1, "to": 2}]}
+	}`
+	sp, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Kernel != KernelStraggler || len(sp.Faults.Stragglers) != 1 {
+		t.Fatalf("got %+v", sp)
+	}
+	if s := sp.Faults.Stragglers[0]; s.Rank != 2 || s.Factor != 3.0 || s.From != 1 || s.To != 2 {
+		t.Fatalf("straggler = %+v", s)
+	}
+}
+
+func TestParseFlowAndNesting(t *testing.T) {
+	t.Parallel()
+	src := `
+kernel: halo1d
+ranks: 4
+topology:
+  metahosts:
+    - name: A
+      nodes: 2
+      internal: {latency_us: 20, bandwidth_gbps: 8}
+    - name: B
+      nodes: 2
+      internal:
+        latency_us: 25
+        bandwidth_gbps: 8
+# a comment between sections
+placement:
+  - {metahost: 0, nodes: 2, per_node: 1}
+  - {metahost: 1, nodes: 2, per_node: 1}
+`
+	sp, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Topology.Metahosts) != 2 {
+		t.Fatalf("metahosts: %+v", sp.Topology.Metahosts)
+	}
+	if sp.Topology.Metahosts[1].Internal.LatencyUS != 25 {
+		t.Errorf("nested link: %+v", sp.Topology.Metahosts[1].Internal)
+	}
+	if len(sp.Placement) != 2 || sp.Placement[1].Metahost != 1 {
+		t.Errorf("placement: %+v", sp.Placement)
+	}
+}
+
+// TestParseErrors sweeps hostile documents: each must produce a
+// structured *Error (never a panic), and the error must mention the
+// offending path or line.
+func TestParseErrors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", "", "empty"},
+		{"unknown-key", "kernel: halo1d\nranks: 4\nbogus: 1\n", "bogus"},
+		{"unknown-kernel", "kernel: warp\nranks: 4\n", "kernel"},
+		{"zero-ranks", "kernel: halo1d\nranks: 0\n", "ranks"},
+		{"one-rank", "kernel: halo1d\nranks: 1\n", "ranks"},
+		{"too-many-ranks", "kernel: halo1d\nranks: 100000\n", "ranks"},
+		{"nan-drift", "kernel: halo1d\nranks: 4\ntopology:\n  metahosts:\n    - name: A\n      nodes: 4\n      internal: {latency_us: 20, bandwidth_gbps: 8}\n      clock: {max_drift_ppm: NaN}\n", "number"},
+		{"negative-latency", "kernel: halo1d\nranks: 4\ntopology:\n  metahosts:\n    - name: A\n      nodes: 4\n      internal: {latency_us: -5, bandwidth_gbps: 8}\n", "latency"},
+		{"grid-mismatch", "kernel: halo2d\nranks: 5\nparams: {px: 2, py: 2}\n", "halo2d"},
+		{"placement-mismatch", "kernel: halo1d\nranks: 4\nplacement:\n  - {metahost: 0, nodes: 3, per_node: 1}\n", "placement"},
+		{"tab-indent", "kernel: halo1d\n\tranks: 4\n", "tab"},
+		{"bad-bool", "kernel: halo1d\nranks: 4\ntopology: {asymmetry: maybe}\n", "true or false"},
+		{"straggler-rank-oob", "kernel: halo1d\nranks: 4\nfaults:\n  stragglers:\n    - {rank: 9, factor: 2}\n", "rank"},
+		{"burst-backwards", "kernel: halo1d\nranks: 4\nfaults:\n  cross_traffic:\n    - {from: 5, to: 3, extra_ms: 1}\n", "from"},
+		{"truncate-keep", "kernel: halo1d\nranks: 4\nfaults:\n  truncate:\n    - {rank: 1, keep: 1.5}\n", "keep"},
+		{"preset-and-custom", "kernel: halo1d\nranks: 4\ntopology:\n  preset: conformance\n  metahosts:\n    - name: A\n      nodes: 4\n      internal: {latency_us: 20, bandwidth_gbps: 8}\n", "mutually exclusive"},
+		{"bad-json", "{\"kernel\": ", "json"},
+		{"dup-key", "kernel: halo1d\nkernel: halo2d\nranks: 4\n", "duplicate"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := Parse([]byte(c.src))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", c.src)
+			}
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("error is %T, want *scenario.Error: %v", err, err)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(c.wantSub)) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+// TestCompileErrors covers semantic failures only Compile can detect.
+func TestCompileErrors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"burst-under-align", "kernel: halo1d\nranks: 4\nfaults:\n  cross_traffic:\n    - {from: 0.5, to: 2.5, extra_ms: 1}\n", "schedule.align"},
+		{"burst-past-end", "kernel: halo1d\nranks: 4\nfaults:\n  cross_traffic:\n    - {from: 2.5, to: 900, extra_ms: 1}\n", "last phase"},
+		{"placement-node-overflow", "kernel: halo1d\nranks: 4\ntopology:\n  metahosts:\n    - name: A\n      nodes: 2\n      internal: {latency_us: 20, bandwidth_gbps: 8}\n", "placement"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := Load([]byte(c.src))
+			if err == nil {
+				t.Fatalf("Load accepted %q", c.src)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(c.wantSub)) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}

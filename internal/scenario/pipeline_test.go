@@ -1,0 +1,43 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"metascope"
+)
+
+// TestScenarioPipelineSmoke drives one small library scenario through
+// the complete pipeline — compile, simulate, archive, synchronize,
+// replay — and checks the analysis recovers the compiled expectation.
+// This is the scenario smoke step script/check.sh runs under -race.
+func TestScenarioPipelineSmoke(t *testing.T) {
+	t.Parallel()
+	p, err := LoadLibrary("halo1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Run("smoke-halo1d", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Analyze(metascope.Hierarchical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1 + e.Clocks().ForLoc(e.Place.Loc(0)).Drift
+	checked := 0
+	for key, ranks := range p.Expect.Keys {
+		for r, want := range ranks {
+			want *= scale
+			got := res.Report.RankMetricTotal(key, r)
+			if math.Abs(got-want) > 1e-9+1e-6*math.Abs(want) {
+				t.Errorf("rank %d %s: got %.9g, want %.9g", r, key, got, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("expectation was empty; the smoke test checked nothing")
+	}
+}

@@ -1,0 +1,526 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The scenario language is an indentation-based YAML subset: block
+// maps (`key: value` / `key:` + indented block), block lists (`- `
+// items, including inline `- key: value` map starts), single-line flow
+// collections (`{k: v}`, `[a, b]`), double- and single-quoted scalars,
+// and `#` comments. There are no anchors, aliases, tags, or multi-line
+// scalars — every document is a finite tree by construction. A
+// document whose first significant byte is `{` is parsed as JSON
+// instead, so Go-struct JSON works unchanged.
+
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	listNode
+)
+
+// node is the parsed generic document tree the strict decoder walks.
+type node struct {
+	line    int
+	kind    nodeKind
+	scalar  string
+	quoted  bool // scalar came from a quoted string (always a string)
+	entries []mapEntry
+	items   []*node
+}
+
+type mapEntry struct {
+	key     string
+	keyLine int
+	val     *node
+}
+
+func (n *node) get(key string) *node {
+	for _, e := range n.entries {
+		if e.key == key {
+			return e.val
+		}
+	}
+	return nil
+}
+
+// isNull reports an empty value (a `key:` with no value or block).
+func (n *node) isNull() bool {
+	return n.kind == scalarNode && !n.quoted && n.scalar == ""
+}
+
+// parseTree parses a scenario document into a node tree.
+func parseTree(src []byte) (*node, error) {
+	text := string(src)
+	if i := firstSignificant(text); i >= 0 && text[i] == '{' {
+		return parseJSONTree(text)
+	}
+	lines, err := splitLines(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, errAt(0, "", "empty document")
+	}
+	p := &parser{lines: lines}
+	root, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, errAt(l.no, "", "unexpected content at indent %d after the top-level block", l.indent)
+	}
+	if root.kind != mapNode {
+		return nil, errAt(root.line, "", "top-level value must be a mapping")
+	}
+	return root, nil
+}
+
+// firstSignificant returns the index of the first byte outside
+// whitespace and comment lines, or -1.
+func firstSignificant(text string) int {
+	inComment := false
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case c == '\n':
+			inComment = false
+		case inComment:
+		case c == '#':
+			inComment = true
+		case c != ' ' && c != '\t' && c != '\r':
+			return i
+		}
+	}
+	return -1
+}
+
+type lineRec struct {
+	no     int
+	indent int
+	text   string
+}
+
+// splitLines preprocesses the document: strips comments (quote-aware)
+// and blank lines, measures indentation, and rejects tabs in it.
+func splitLines(text string) ([]lineRec, error) {
+	var out []lineRec
+	for no, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, errAt(no+1, "", "tab indentation is not supported; use spaces")
+		}
+		content := stripComment(line[indent:])
+		content = strings.TrimRight(content, " ")
+		if content == "" {
+			continue
+		}
+		out = append(out, lineRec{no: no + 1, indent: indent, text: content})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing `#` comment that is not inside a
+// quoted string. A `#` must start the content or follow whitespace to
+// count as a comment, matching YAML.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' && quote == '"' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []lineRec
+	pos   int
+}
+
+func (p *parser) cur() *lineRec {
+	if p.pos >= len(p.lines) {
+		return nil
+	}
+	return &p.lines[p.pos]
+}
+
+// parseBlock parses the map or list starting at the current line,
+// whose indent defines the block.
+func (p *parser) parseBlock() (*node, error) {
+	l := p.cur()
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseList(l.indent)
+	}
+	return p.parseMap(l.indent)
+}
+
+func (p *parser) parseMap(indent int) (*node, error) {
+	n := &node{line: p.cur().no, kind: mapNode}
+	seen := make(map[string]int)
+	for {
+		l := p.cur()
+		if l == nil || l.indent < indent {
+			return n, nil
+		}
+		if l.indent > indent {
+			return nil, errAt(l.no, "", "unexpected indent %d (enclosing block is at %d)", l.indent, indent)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, errAt(l.no, "", "unexpected list item inside a mapping")
+		}
+		key, rest, err := splitKey(l.text, l.no)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[key]; dup {
+			return nil, errAt(l.no, "", "duplicate key %q (first on line %d)", key, prev)
+		}
+		seen[key] = l.no
+		p.pos++
+		var val *node
+		if rest != "" {
+			val, err = parseInline(rest, l.no)
+			if err != nil {
+				return nil, err
+			}
+		} else if nl := p.cur(); nl != nil && nl.indent > indent {
+			val, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			val = &node{line: l.no, kind: scalarNode}
+		}
+		n.entries = append(n.entries, mapEntry{key: key, keyLine: l.no, val: val})
+	}
+}
+
+func (p *parser) parseList(indent int) (*node, error) {
+	n := &node{line: p.cur().no, kind: listNode}
+	for {
+		l := p.cur()
+		if l == nil || l.indent < indent {
+			return n, nil
+		}
+		if l.indent > indent {
+			return nil, errAt(l.no, "", "unexpected indent %d (enclosing list is at %d)", l.indent, indent)
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			return n, nil
+		}
+		var item *node
+		var err error
+		switch {
+		case l.text == "-":
+			p.pos++
+			if nl := p.cur(); nl != nil && nl.indent > indent {
+				item, err = p.parseBlock()
+			} else {
+				item = &node{line: l.no, kind: scalarNode}
+			}
+		case isMapEntryStart(l.text[2:]):
+			// `- key: value` opens a map whose keys sit two columns in
+			// (dash plus space); rewrite the line and parse the map.
+			l.indent += 2
+			l.text = l.text[2:]
+			item, err = p.parseMap(l.indent)
+		default:
+			item, err = parseInline(l.text[2:], l.no)
+			p.pos++
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+}
+
+// splitKey splits `key: rest` (or `key:`), validating the key token.
+func splitKey(s string, line int) (key, rest string, err error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return "", "", errAt(line, "", "expected `key: value`, got %q", s)
+	}
+	key = s[:i]
+	if !validKey(key) {
+		return "", "", errAt(line, "", "invalid key %q (want letters, digits, _ or -)", key)
+	}
+	rest = strings.TrimSpace(s[i+1:])
+	if rest != "" && s[i+1] != ' ' {
+		return "", "", errAt(line, "", "missing space after %q:", key)
+	}
+	return key, rest, nil
+}
+
+func validKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isMapEntryStart reports whether a list-item remainder opens a map
+// entry (`key:` followed by space or end of line, key valid).
+func isMapEntryStart(s string) bool {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || !validKey(s[:i]) {
+		return false
+	}
+	return i+1 == len(s) || s[i+1] == ' '
+}
+
+// parseInline parses a single-line value: flow map, flow list, or
+// scalar.
+func parseInline(s string, line int) (*node, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "{"):
+		n, rest, err := parseFlow(s, line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, errAt(line, "", "trailing content %q after flow mapping", strings.TrimSpace(rest))
+		}
+		return n, nil
+	case strings.HasPrefix(s, "["):
+		n, rest, err := parseFlow(s, line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, errAt(line, "", "trailing content %q after flow list", strings.TrimSpace(rest))
+		}
+		return n, nil
+	default:
+		return parseScalar(s, line)
+	}
+}
+
+// parseFlow parses a `{...}` or `[...]` flow collection at the start
+// of s, returning the unconsumed remainder.
+func parseFlow(s string, line int) (*node, string, error) {
+	if strings.HasPrefix(s, "{") {
+		n := &node{line: line, kind: mapNode}
+		rest := strings.TrimSpace(s[1:])
+		seen := make(map[string]bool)
+		if strings.HasPrefix(rest, "}") {
+			return n, rest[1:], nil
+		}
+		for {
+			i := strings.IndexByte(rest, ':')
+			if i < 0 {
+				return nil, "", errAt(line, "", "flow mapping entry %q has no colon", rest)
+			}
+			key := strings.TrimSpace(rest[:i])
+			if !validKey(key) {
+				return nil, "", errAt(line, "", "invalid key %q in flow mapping", key)
+			}
+			if seen[key] {
+				return nil, "", errAt(line, "", "duplicate key %q in flow mapping", key)
+			}
+			seen[key] = true
+			val, r2, err := parseFlowValue(strings.TrimSpace(rest[i+1:]), line)
+			if err != nil {
+				return nil, "", err
+			}
+			n.entries = append(n.entries, mapEntry{key: key, keyLine: line, val: val})
+			r2 = strings.TrimSpace(r2)
+			switch {
+			case strings.HasPrefix(r2, ","):
+				rest = strings.TrimSpace(r2[1:])
+			case strings.HasPrefix(r2, "}"):
+				return n, r2[1:], nil
+			default:
+				return nil, "", errAt(line, "", "flow mapping missing `,` or `}` near %q", r2)
+			}
+		}
+	}
+	// "["
+	n := &node{line: line, kind: listNode}
+	rest := strings.TrimSpace(s[1:])
+	if strings.HasPrefix(rest, "]") {
+		return n, rest[1:], nil
+	}
+	for {
+		val, r2, err := parseFlowValue(rest, line)
+		if err != nil {
+			return nil, "", err
+		}
+		n.items = append(n.items, val)
+		r2 = strings.TrimSpace(r2)
+		switch {
+		case strings.HasPrefix(r2, ","):
+			rest = strings.TrimSpace(r2[1:])
+		case strings.HasPrefix(r2, "]"):
+			return n, r2[1:], nil
+		default:
+			return nil, "", errAt(line, "", "flow list missing `,` or `]` near %q", r2)
+		}
+	}
+}
+
+// parseFlowValue parses one value inside a flow collection and
+// returns the remainder (starting at the delimiter).
+func parseFlowValue(s string, line int) (*node, string, error) {
+	if strings.HasPrefix(s, "{") || strings.HasPrefix(s, "[") {
+		return parseFlow(s, line)
+	}
+	if strings.HasPrefix(s, `"`) || strings.HasPrefix(s, "'") {
+		raw, rest, err := scanQuoted(s, line)
+		if err != nil {
+			return nil, "", err
+		}
+		return &node{line: line, kind: scalarNode, scalar: raw, quoted: true}, rest, nil
+	}
+	end := len(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' || s[i] == '}' || s[i] == ']' {
+			end = i
+			break
+		}
+	}
+	n, err := parseScalar(strings.TrimSpace(s[:end]), line)
+	if err != nil {
+		return nil, "", err
+	}
+	return n, s[end:], nil
+}
+
+// scanQuoted consumes a quoted string at the start of s.
+func scanQuoted(s string, line int) (value, rest string, err error) {
+	quote := s[0]
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == quote:
+			return b.String(), s[i+1:], nil
+		case c == '\\' && quote == '"':
+			i++
+			if i >= len(s) {
+				return "", "", errAt(line, "", "unterminated escape in quoted string")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\', '/':
+				b.WriteByte(s[i])
+			default:
+				return "", "", errAt(line, "", `unsupported escape \%c`, s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", errAt(line, "", "unterminated quoted string")
+}
+
+func parseScalar(s string, line int) (*node, error) {
+	if strings.HasPrefix(s, `"`) || strings.HasPrefix(s, "'") {
+		v, rest, err := scanQuoted(s, line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, errAt(line, "", "trailing content %q after quoted string", strings.TrimSpace(rest))
+		}
+		return &node{line: line, kind: scalarNode, scalar: v, quoted: true}, nil
+	}
+	if strings.ContainsAny(s, "{}[]") {
+		return nil, errAt(line, "", "flow characters in unquoted scalar %q (quote it, or fix the flow syntax)", s)
+	}
+	return &node{line: line, kind: scalarNode, scalar: s}, nil
+}
+
+// parseJSONTree converts a JSON document into the same node tree the
+// YAML path produces. Map keys are visited in sorted order so error
+// reporting is deterministic; JSON has no line information.
+func parseJSONTree(text string) (*node, error) {
+	var v interface{}
+	if err := json.Unmarshal([]byte(text), &v); err != nil {
+		return nil, errAt(0, "", "invalid JSON: %v", err)
+	}
+	n, err := jsonNode(v)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind != mapNode {
+		return nil, errAt(0, "", "top-level value must be an object")
+	}
+	return n, nil
+}
+
+func jsonNode(v interface{}) (*node, error) {
+	switch x := v.(type) {
+	case nil:
+		return &node{kind: scalarNode}, nil
+	case bool:
+		return &node{kind: scalarNode, scalar: strconv.FormatBool(x)}, nil
+	case float64:
+		return &node{kind: scalarNode, scalar: strconv.FormatFloat(x, 'g', -1, 64)}, nil
+	case string:
+		return &node{kind: scalarNode, scalar: x, quoted: true}, nil
+	case []interface{}:
+		n := &node{kind: listNode}
+		for _, it := range x {
+			c, err := jsonNode(it)
+			if err != nil {
+				return nil, err
+			}
+			n.items = append(n.items, c)
+		}
+		return n, nil
+	case map[string]interface{}:
+		n := &node{kind: mapNode}
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !validKey(k) {
+				return nil, errAt(0, "", fmt.Sprintf("invalid key %q (want letters, digits, _ or -)", k))
+			}
+			c, err := jsonNode(x[k])
+			if err != nil {
+				return nil, err
+			}
+			n.entries = append(n.entries, mapEntry{key: k, val: c})
+		}
+		return n, nil
+	default:
+		return nil, errAt(0, "", fmt.Sprintf("unsupported JSON value %T", v))
+	}
+}

@@ -88,6 +88,11 @@ type Experiment struct {
 	// the message-passing layer (negative disables asymmetry; zero
 	// keeps the default). Used by the calibration ablations.
 	AsymFrac float64
+	// CrossTraffic injects extra one-way latency (seconds) into every
+	// message as a pure function of simulation time and link class —
+	// the scenario fleet's windowed WAN cross-traffic bursts. Nil
+	// leaves the links undisturbed.
+	CrossTraffic func(now float64, class topology.LinkClass) float64
 	// Obs receives metrics, phase timings, and logs for this
 	// experiment; nil uses the process-wide obs.Default recorder.
 	Obs *obs.Recorder
@@ -148,6 +153,7 @@ func (e *Experiment) Build() error {
 		}
 	}
 	e.world = mmpi.NewWorld(e.eng, e.Place)
+	e.world.CrossTraffic = e.CrossTraffic
 	if e.EagerLimit > 0 {
 		e.world.EagerLimit = e.EagerLimit
 	}

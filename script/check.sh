@@ -93,6 +93,15 @@ go test -race -count=1 -run 'TestPostPassDeterminism' ./internal/conformance
 echo "== streaming-vs-postmortem determinism smoke"
 go test -race -count=1 -run 'TestStreamingDeterminismSmoke' ./internal/conformance
 
+# Scenario fleet smoke: one generated kernel driven through compile,
+# simulate, archive, synchronize, replay under -race, with the analysis
+# checked against the scenario's compiled closed-form expectation. The
+# full kernel-oracle matrix runs as TestKernelOracle in the regular
+# suite (and wider via `make scenarios`); this pins the generator
+# pipeline by name.
+echo "== scenario pipeline smoke"
+go test -race -count=1 -run 'TestScenarioPipelineSmoke' ./internal/scenario
+
 # The dogfood loop: analyze an experiment with the recorder on, export
 # the recording as a trace archive, and analyze THAT with the same
 # pipeline. Proves the self-instrumentation stays a valid input to the
