@@ -18,6 +18,7 @@ fuzz: ## coverage-guided fuzzing of the trace decoders and scenario parser (seed
 	go test ./internal/trace -run '^$$' -fuzz 'FuzzDecodeV2$$' -fuzztime $(FUZZTIME)
 	go test ./internal/trace -run '^$$' -fuzz 'FuzzDecodeDifferential$$' -fuzztime $(FUZZTIME)
 	go test ./internal/scenario -run '^$$' -fuzz 'FuzzScenarioParse$$' -fuzztime $(FUZZTIME)
+	go test ./internal/phase -run '^$$' -fuzz 'FuzzPhaseAlign$$' -fuzztime $(FUZZTIME)
 
 scenarios: ## compile, run, and oracle-check every library scenario across both trace formats
 	go test ./internal/conformance -count=1 -v -run 'TestKernelOracle|TestKernelTruncationFails'
@@ -35,9 +36,9 @@ race:
 vet:
 	go vet ./...
 
-bench: ## replay + ingestion + flight-recorder benchmarks; BENCH_replay.json plus delta vs the committed baseline
+bench: ## replay + ingestion + flight-recorder + per-phase severity benchmarks; BENCH_replay.json plus delta vs the committed baseline
 	@if [ -f BENCH_replay.json ]; then cp BENCH_replay.json BENCH_replay.prev.json; fi
-	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkArchiveLoad|BenchmarkScalabilityAnalysis|BenchmarkServeThroughput|BenchmarkFlight|BenchmarkStreamingIngest' \
+	go test -run '^$$' -bench 'BenchmarkParallelReplay|BenchmarkArchiveLoad|BenchmarkScalabilityAnalysis|BenchmarkServeThroughput|BenchmarkFlight|BenchmarkStreamingIngest|BenchmarkPhaseAnalysis' \
 		-benchmem -json . ./internal/obs/flight > BENCH_replay.json
 	@if [ -f BENCH_replay.prev.json ]; then \
 		go run ./script/benchdelta -base BENCH_replay.prev.json BENCH_replay.json; \

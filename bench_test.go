@@ -16,6 +16,7 @@ package metascope_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -26,7 +27,9 @@ import (
 	"metascope/internal/experiments"
 	"metascope/internal/measure"
 	"metascope/internal/pattern"
+	"metascope/internal/phase"
 	"metascope/internal/replay"
+	"metascope/internal/scenario"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
@@ -538,4 +541,45 @@ func BenchmarkTraceEncodeDecode(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkPhaseAnalysis runs the straggler kernel through the full
+// pipeline — simulate, measure, archive, replay with phase detection —
+// and reports every phase's wait-at-NxN severity as a benchmark
+// metric ("sev:p<phase>:wait_nxn"). These are exact simulation
+// outputs, not timings: script/benchdelta renders them as a per-phase
+// table, so `make bench` tracks per-iteration analysis severities
+// across changes and a regression confined to one phase shows up as
+// that phase's row moving.
+func BenchmarkPhaseAnalysis(b *testing.B) {
+	var pp *phase.Profile
+	for i := 0; i < b.N; i++ {
+		prog, err := scenario.LoadLibrary("straggler")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := prog.Run("bench-phases", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		traces, err := e.Traces()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := replay.Analyze(traces, replay.Config{Scheme: vclock.Hierarchical, Title: "bench-phases"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pp = res.Phases
+	}
+	b.ReportMetric(float64(len(pp.Phases)), "phases")
+	for i := range pp.Phases {
+		total := 0.0
+		for _, r := range pp.Phases[i].Rows {
+			if phase.FamilyOf(r.Family) == pattern.KeyWaitNxN {
+				total += r.Severity
+			}
+		}
+		b.ReportMetric(total, fmt.Sprintf("sev:p%d:wait_nxn", i))
+	}
 }

@@ -36,7 +36,7 @@ func defaultOutputPath(in, out string) string {
 	return filepath.Join(in, "analysis.cube")
 }
 
-func run(cli *obs.CLIConfig, in, dir, schemeFlag, out, profileOut string, profileBuckets int) error {
+func run(cli *obs.CLIConfig, in, dir, schemeFlag, out, profileOut, phasesOut string, profileBuckets int) error {
 	scheme, err := vclock.ParseScheme(schemeFlag)
 	if err != nil {
 		return err
@@ -90,6 +90,14 @@ func run(cli *obs.CLIConfig, in, dir, schemeFlag, out, profileOut string, profil
 			len(res.Profile.Series), res.Profile.Buckets, res.Profile.BucketWidth, profileOut)
 	}
 
+	if phasesOut != "" {
+		if err := res.Phases.WriteFile(phasesOut); err != nil {
+			return err
+		}
+		fmt.Printf("phase profile (%d phases, period %d) written to %s (compare with mtdiff -phases)\n",
+			len(res.Phases.Phases), res.Phases.Period, phasesOut)
+	}
+
 	var replayBytes, extBytes int64
 	for _, b := range res.ReplayBytes {
 		replayBytes += b
@@ -122,11 +130,12 @@ func main() {
 	schemeFlag := flag.String("scheme", "hier", "time-stamp synchronization: flat1 | flat2 | hier")
 	out := flag.String("o", "", "write the cube report to this file (default: <in>/analysis.cube)")
 	profileOut := flag.String("profile-out", "", "write the time-resolved severity profile to this file (.csv for CSV, JSON otherwise)")
+	phasesOut := flag.String("phases-out", "", "write the detected phase profile to this file (.csv for CSV, JSON otherwise)")
 	profileBuckets := flag.Int("profile-buckets", 0, "bucket count of the time-resolved profile (default 64)")
 	flag.Parse()
 	cli.Start()
 
-	err := run(cli, *in, *dir, *schemeFlag, *out, *profileOut, *profileBuckets)
+	err := run(cli, *in, *dir, *schemeFlag, *out, *profileOut, *phasesOut, *profileBuckets)
 	if ferr := cli.Flush(); err == nil {
 		err = ferr
 	}

@@ -12,9 +12,18 @@
 // profiles (mtanalyze -profile-out) interval by interval:
 //
 //	mtdiff -profile a-profile.json b-profile.json
+//
+// With -phases it compares two phase profiles (mtanalyze -phases-out)
+// after aligning their detected phases — by signature when the runs
+// have the same shape, by subsequence matching when phases appeared
+// or disappeared — and flags per-phase severity regressions a
+// whole-archive diff would average away:
+//
+//	mtdiff -phases [-json] [-threshold 2] [-min-delta 1e-3] a.json b.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +32,7 @@ import (
 
 	"metascope/internal/cube"
 	"metascope/internal/obs"
+	"metascope/internal/phase"
 	"metascope/internal/profile"
 )
 
@@ -82,6 +92,73 @@ func runProfile(out string, args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "\ndiff profile written to %s\n", out)
+	}
+	return nil
+}
+
+// runPhases compares two phase-profile artifacts after aligning their
+// phases and reports the cells whose severity regressed — the
+// per-iteration answer to "which phase of run b got slower". With
+// -json the full machine-readable comparison goes to stdout; -o
+// writes it to a file in either mode.
+func runPhases(out string, jsonOut bool, threshold, minDelta float64, args []string, w io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: mtdiff -phases [-json] [-threshold X] [-min-delta S] [-o out.json] a-phases.json b-phases.json")
+	}
+	a, err := phase.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := phase.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	cmp := phase.Compare(a, b, threshold, minDelta)
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cmp); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(w, "phase diff: %s vs %s\n", a.Title, b.Title)
+		fmt.Fprintf(w, "%d vs %d phases, %d aligned (%s mode)\n\n", cmp.APhases, cmp.BPhases, len(cmp.Pairs), cmp.Mode)
+		fmt.Fprintf(w, "  %-6s %-45s %-12s %12s %12s %8s\n", "phase", "family", "metahost", "base", "cur", "ratio")
+		for _, r := range cmp.Rows {
+			if !r.Regressed {
+				continue
+			}
+			mh := r.MetahostName
+			if mh == "" {
+				mh = fmt.Sprintf("%d", r.Metahost)
+			}
+			ph := fmt.Sprintf("%d", r.PhaseB)
+			if r.PhaseA != r.PhaseB {
+				ph = fmt.Sprintf("%d>%d", r.PhaseA, r.PhaseB)
+			}
+			ratio := "new"
+			if r.Base > 0 {
+				ratio = fmt.Sprintf("%.2fx", r.Ratio)
+			}
+			fmt.Fprintf(w, "  %-6s %-45s %-12s %12.4g %12.4g %8s\n", ph, r.Family, mh, r.Base, r.Cur, ratio)
+		}
+		if cmp.Regressions == 0 {
+			fmt.Fprintf(w, "  (none)\n")
+		}
+		fmt.Fprintf(w, "\n%d per-phase regressions (threshold %gx, min delta %gs)\n",
+			cmp.Regressions, cmp.Threshold, cmp.MinDelta)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		if !jsonOut {
+			fmt.Fprintf(w, "comparison written to %s\n", out)
+		}
 	}
 	return nil
 }
@@ -155,11 +232,17 @@ func main() {
 	op := flag.String("op", "diff", "operation: diff | merge | mean")
 	out := flag.String("o", "", "write the result to this cube file")
 	prof := flag.Bool("profile", false, "compare two time-resolved profile artifacts (mtanalyze -profile-out) instead of cube files")
+	phases := flag.Bool("phases", false, "compare two phase-profile artifacts (mtanalyze -phases-out) instead of cube files")
+	jsonOut := flag.Bool("json", false, "with -phases: print the comparison as JSON")
+	threshold := flag.Float64("threshold", phase.DefaultThreshold, "with -phases: flag cells at or beyond this current/base severity ratio")
+	minDelta := flag.Float64("min-delta", phase.DefaultMinDelta, "with -phases: ignore severity growth below this many seconds")
 	flag.Parse()
 	cli.Start()
 
 	var err error
-	if *prof {
+	if *phases {
+		err = runPhases(*out, *jsonOut, *threshold, *minDelta, flag.Args(), os.Stdout)
+	} else if *prof {
 		err = runProfile(*out, flag.Args(), os.Stdout)
 	} else {
 		err = run(cli.Recorder(), *op, *out, flag.Args(), os.Stdout)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -9,7 +10,10 @@ import (
 
 	"metascope/internal/conformance"
 	"metascope/internal/pattern"
+	"metascope/internal/phase"
 	"metascope/internal/profile"
+	"metascope/internal/replay"
+	"metascope/internal/scenario"
 	"metascope/internal/vclock"
 )
 
@@ -127,6 +131,98 @@ func TestGoldenProfileDiff(t *testing.T) {
 	checkGolden(t, "profile-diff.golden", buf.Bytes())
 }
 
+// fixturePhases produces the phase artifacts of two straggler twins:
+// a baseline with a permanent 2x straggler on rank 2, and a current
+// run that additionally slows the same rank 2.5x in iteration 3 only
+// — the planted single-iteration regression the phase diff must
+// pinpoint.
+func fixturePhases(t *testing.T) (aPath, bPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(tag string, extra []scenario.StragglerSpec) string {
+		base, err := scenario.LoadLibrary("straggler")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := *base.Spec
+		sp.Name = "phasediff-" + tag
+		sp.Iterations = 8
+		sp.Faults.Stragglers = append([]scenario.StragglerSpec{
+			{Rank: 2, Factor: 2.0, From: 0, To: 7},
+		}, extra...)
+		prog, err := sp.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := prog.Run(sp.Name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces, err := e.Traces()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := replay.Analyze(traces, replay.Config{Scheme: vclock.Hierarchical, Title: "phases-" + tag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, tag+"-phases.json")
+		if err := res.Phases.WriteFile(p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	aPath = write("a", nil)
+	bPath = write("b", []scenario.StragglerSpec{{Rank: 2, Factor: 2.5, From: 3, To: 3}})
+	return aPath, bPath
+}
+
+func TestGoldenPhasesDiff(t *testing.T) {
+	a, b := fixturePhases(t)
+	var buf bytes.Buffer
+	if err := runPhases("", false, 0, 0, []string{a, b}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "phases-diff.golden", buf.Bytes())
+}
+
+func TestGoldenPhasesDiffJSON(t *testing.T) {
+	a, b := fixturePhases(t)
+	var buf bytes.Buffer
+	if err := runPhases("", true, 0, 0, []string{a, b}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var cmp phase.Comparison
+	if err := json.Unmarshal(buf.Bytes(), &cmp); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if cmp.Regressions == 0 {
+		t.Error("-json comparison reports no regressions for the planted slowdown")
+	}
+	checkGolden(t, "phases-diff-json.golden", buf.Bytes())
+}
+
+func TestPhasesDiffWritesComparison(t *testing.T) {
+	a, b := fixturePhases(t)
+	out := filepath.Join(t.TempDir(), "cmp.json")
+	var buf bytes.Buffer
+	if err := runPhases(out, false, 0, 0, []string{a, b}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmp phase.Comparison
+	if err := json.Unmarshal(data, &cmp); err != nil {
+		t.Fatalf("-o comparison is not valid JSON: %v", err)
+	}
+	if cmp.Mode != "match" || cmp.Regressions == 0 {
+		t.Errorf("written comparison mode=%q regressions=%d, want match mode with regressions",
+			cmp.Mode, cmp.Regressions)
+	}
+}
+
 func TestRunRejectsBadUsage(t *testing.T) {
 	a, b, _, _ := fixturePair(t)
 	var buf bytes.Buffer
@@ -141,5 +237,11 @@ func TestRunRejectsBadUsage(t *testing.T) {
 	}
 	if err := runProfile("", []string{a}, &buf); err == nil {
 		t.Error("profile diff with one artifact accepted")
+	}
+	if err := runPhases("", false, 0, 0, []string{a}, &buf); err == nil {
+		t.Error("phase diff with one artifact accepted")
+	}
+	if err := runPhases("", false, 0, 0, []string{a, b}, &buf); err == nil {
+		t.Error("phase diff over cube files accepted")
 	}
 }

@@ -9,6 +9,11 @@
 // The cube file does not embed the time-resolved profile; -profile
 // re-attaches the artifact written by mtanalyze -profile-out so the
 // HTML report includes the severity heatmaps.
+//
+// With -phases it renders a phase profile (mtanalyze -phases-out) as
+// per-phase severity sections instead of reading a cube file:
+//
+//	mtprint -phases run1-phases.json
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 
 	"metascope/internal/cube"
 	"metascope/internal/obs"
+	"metascope/internal/phase"
 	"metascope/internal/profile"
 )
 
@@ -31,10 +37,55 @@ type options struct {
 	list      bool
 	htmlOut   string
 	profileIn string
+	phasesIn  string
+}
+
+// renderPhases prints a phase profile as one section per detected
+// phase: its time bounds, signature, and the per-(family, metahost)
+// severities accumulated inside it.
+func renderPhases(p *phase.Profile, out io.Writer) {
+	fmt.Fprintf(out, "phase profile: %s\n", p.Title)
+	fmt.Fprintf(out, "%d ranks, %d phases, period %d", p.Ranks, len(p.Phases), p.Period)
+	if p.Pre > 0 || p.Post > 0 {
+		fmt.Fprintf(out, " (prologue %d, epilogue %d)", p.Pre, p.Post)
+	}
+	fmt.Fprintln(out)
+	for _, ph := range p.Phases {
+		fmt.Fprintf(out, "\nphase %d  [%.4g, %.4g)s  %d ops  sig %s\n", ph.Index, ph.Start, ph.End, ph.Ops, ph.Sig)
+		if len(ph.Rows) == 0 {
+			fmt.Fprintf(out, "  (no wait states)\n")
+			continue
+		}
+		for _, r := range ph.Rows {
+			mh := r.MetahostName
+			if mh == "" {
+				mh = fmt.Sprintf("%d", r.Metahost)
+			}
+			// Message-volume families carry bytes, not seconds.
+			unit := "s"
+			if strings.HasPrefix(r.Family, "comm.bytes.") {
+				unit = "B"
+			}
+			fmt.Fprintf(out, "  %-45s %-12s %12.4g %s\n", r.Family, mh, r.Severity, unit)
+		}
+	}
 }
 
 func run(rec *obs.Recorder, o options, args []string, out io.Writer) error {
 	metric, call, list, htmlOut, profileIn := o.metric, o.call, o.list, o.htmlOut, o.profileIn
+	if o.phasesIn != "" {
+		if len(args) != 0 {
+			return fmt.Errorf("usage: mtprint -phases phases.json")
+		}
+		p, err := phase.ReadFile(o.phasesIn)
+		if err != nil {
+			return err
+		}
+		span := obs.OrDefault(rec).Phases.Start("render")
+		defer span.End()
+		renderPhases(p, out)
+		return nil
+	}
 	if len(args) != 1 {
 		return fmt.Errorf("usage: mtprint [-metric KEY] [-call PATH] report.cube")
 	}
@@ -101,10 +152,11 @@ func main() {
 	list := flag.Bool("list", false, "list available metric keys and exit")
 	htmlOut := flag.String("html", "", "write a self-contained HTML report to this file")
 	profileIn := flag.String("profile", "", "attach a time-resolved profile artifact (mtanalyze -profile-out) for the HTML heatmaps")
+	phasesIn := flag.String("phases", "", "render a phase profile (mtanalyze -phases-out) instead of a cube file")
 	flag.Parse()
 	cli.Start()
 
-	o := options{metric: *metric, call: *call, list: *list, htmlOut: *htmlOut, profileIn: *profileIn}
+	o := options{metric: *metric, call: *call, list: *list, htmlOut: *htmlOut, profileIn: *profileIn, phasesIn: *phasesIn}
 	err := run(cli.Recorder(), o, flag.Args(), os.Stdout)
 	if ferr := cli.Flush(); err == nil {
 		err = ferr

@@ -9,6 +9,8 @@ import (
 
 	"metascope/internal/conformance"
 	"metascope/internal/pattern"
+	"metascope/internal/replay"
+	"metascope/internal/scenario"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
 )
@@ -130,10 +132,56 @@ func TestGoldenHTML(t *testing.T) {
 	})
 }
 
+// fixturePhases analyzes a deterministic straggler kernel and writes
+// its phase profile, so the golden test renders a real multi-phase
+// artifact produced by the full pipeline.
+func fixturePhases(t *testing.T, tf trace.Format) string {
+	t.Helper()
+	prog, err := scenario.LoadLibrary("straggler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Spec.Format = tf
+	e, err := prog.Run("print-phases", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := e.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := replay.Analyze(traces, replay.Config{Scheme: vclock.Hierarchical, Title: "print-phases"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "phases.json")
+	if err := res.Phases.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGoldenPhases(t *testing.T) {
+	goldenFormats(t, func(t *testing.T, tf trace.Format) {
+		phases := fixturePhases(t, tf)
+		var buf bytes.Buffer
+		if err := run(nil, options{phasesIn: phases}, nil, &buf); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "phases.golden", buf.Bytes())
+	})
+}
+
 func TestRunRejectsBadUsage(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(nil, options{}, nil, &buf); err == nil {
 		t.Error("no arguments accepted")
+	}
+	if err := run(nil, options{phasesIn: "phases.json"}, []string{"report.cube"}, &buf); err == nil {
+		t.Error("-phases with a positional argument accepted")
+	}
+	if err := run(nil, options{phasesIn: filepath.Join(t.TempDir(), "missing.json")}, nil, &buf); err == nil {
+		t.Error("missing phase artifact accepted")
 	}
 	if err := run(nil, options{}, []string{"a", "b"}, &buf); err == nil {
 		t.Error("two arguments accepted")

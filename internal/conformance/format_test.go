@@ -10,8 +10,9 @@ import (
 )
 
 // runArtifacts runs one scenario end to end under the given on-disk
-// trace format and returns the rendered report and profile bytes.
-func runArtifacts(t *testing.T, s Scenario, f trace.Format, cfg replay.Config) (report, prof []byte) {
+// trace format and returns the rendered report, profile, and phase
+// profile bytes.
+func runArtifacts(t *testing.T, s Scenario, f trace.Format, cfg replay.Config) (report, prof, phases []byte) {
 	t.Helper()
 	s.Format = f
 	e, err := s.NewExperiment(1)
@@ -46,13 +47,16 @@ func TestFormatArtifactEquality(t *testing.T) {
 		t.Run(s.Name, func(t *testing.T) {
 			t.Parallel()
 			cfg := replay.Config{Scheme: vclock.Hierarchical, Title: "fmt-" + s.Name}
-			r1, p1 := runArtifacts(t, s, trace.FormatV1, cfg)
-			r2, p2 := runArtifacts(t, s, trace.FormatV2, cfg)
+			r1, p1, h1 := runArtifacts(t, s, trace.FormatV1, cfg)
+			r2, p2, h2 := runArtifacts(t, s, trace.FormatV2, cfg)
 			if !bytes.Equal(r1, r2) {
 				t.Errorf("report bytes differ between v1 and v2 archives (%d vs %d)", len(r1), len(r2))
 			}
 			if !bytes.Equal(p1, p2) {
 				t.Errorf("profile bytes differ between v1 and v2 archives (%d vs %d)", len(p1), len(p2))
+			}
+			if !bytes.Equal(h1, h2) {
+				t.Errorf("phase profile bytes differ between v1 and v2 archives (%d vs %d)", len(h1), len(h2))
 			}
 		})
 	}
@@ -82,7 +86,7 @@ func TestLazyArtifactEquality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantReport, wantProf := renderArtifacts(t, want)
+	wantReport, wantProf, wantPhases := renderArtifacts(t, want)
 
 	ar, err := e.TracesLazy()
 	if err != nil {
@@ -92,13 +96,16 @@ func TestLazyArtifactEquality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotReport, gotProf := renderArtifacts(t, got)
+	gotReport, gotProf, gotPhases := renderArtifacts(t, got)
 
 	if !bytes.Equal(gotReport, wantReport) {
 		t.Errorf("lazy report bytes differ from materialized (%d vs %d)", len(gotReport), len(wantReport))
 	}
 	if !bytes.Equal(gotProf, wantProf) {
 		t.Errorf("lazy profile bytes differ from materialized (%d vs %d)", len(gotProf), len(wantProf))
+	}
+	if !bytes.Equal(gotPhases, wantPhases) {
+		t.Errorf("lazy phase profile bytes differ from materialized (%d vs %d)", len(gotPhases), len(wantPhases))
 	}
 	if mm := CheckOracle(got.Report, s, MasterScale(e), ExactTol); len(mm) != 0 {
 		t.Errorf("lazy analysis fails the oracle: %v", mm)
@@ -120,8 +127,8 @@ func TestPostPassDeterminism(t *testing.T) {
 			t.Parallel()
 			seq := replay.Config{Scheme: vclock.Hierarchical, Title: "pp-" + s.Name, SequentialPostPass: true}
 			par := replay.Config{Scheme: vclock.Hierarchical, Title: "pp-" + s.Name}
-			rSeq, pSeq := runArtifacts(t, s, trace.FormatDefault, seq)
-			rPar, pPar := runArtifacts(t, s, trace.FormatDefault, par)
+			rSeq, pSeq, hSeq := runArtifacts(t, s, trace.FormatDefault, seq)
+			rPar, pPar, hPar := runArtifacts(t, s, trace.FormatDefault, par)
 			if !bytes.Equal(rSeq, rPar) {
 				t.Errorf("report bytes differ between sequential and parallel post-pass (%d vs %d)",
 					len(rSeq), len(rPar))
@@ -129,6 +136,10 @@ func TestPostPassDeterminism(t *testing.T) {
 			if !bytes.Equal(pSeq, pPar) {
 				t.Errorf("profile bytes differ between sequential and parallel post-pass (%d vs %d)",
 					len(pSeq), len(pPar))
+			}
+			if !bytes.Equal(hSeq, hPar) {
+				t.Errorf("phase profile bytes differ between sequential and parallel post-pass (%d vs %d)",
+					len(hSeq), len(hPar))
 			}
 		})
 	}

@@ -132,8 +132,8 @@ func checkKernelLazy(t *testing.T, kr *KernelRun, seed int64) {
 	if err != nil {
 		t.Fatalf("seed %d: lazy analysis: %v", seed, err)
 	}
-	wantReport, wantProf := renderArtifacts(t, post)
-	gotReport, gotProf := renderArtifacts(t, lazy)
+	wantReport, wantProf, wantPhases := renderArtifacts(t, post)
+	gotReport, gotProf, gotPhases := renderArtifacts(t, lazy)
 	if !bytes.Equal(gotReport, wantReport) {
 		t.Errorf("seed %d: lazy report bytes differ from post-mortem (%d vs %d)",
 			seed, len(gotReport), len(wantReport))
@@ -141,6 +141,10 @@ func checkKernelLazy(t *testing.T, kr *KernelRun, seed int64) {
 	if !bytes.Equal(gotProf, wantProf) {
 		t.Errorf("seed %d: lazy profile bytes differ from post-mortem (%d vs %d)",
 			seed, len(gotProf), len(wantProf))
+	}
+	if !bytes.Equal(gotPhases, wantPhases) {
+		t.Errorf("seed %d: lazy phase profile bytes differ from post-mortem (%d vs %d)",
+			seed, len(gotPhases), len(wantPhases))
 	}
 	if mm := CheckKernel(lazy.Report, kr.Program, kr.Scale, ExactTol); len(mm) != 0 {
 		t.Errorf("seed %d: lazy result fails the oracle: %v", seed, mm)

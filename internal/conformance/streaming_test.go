@@ -125,16 +125,19 @@ func streamPlan(t *testing.T, cfg replay.Config, n int, plan []feedStep) (*repla
 	return res, got
 }
 
-func renderArtifacts(t *testing.T, res *replay.Result) (report, prof []byte) {
+func renderArtifacts(t *testing.T, res *replay.Result) (report, prof, phases []byte) {
 	t.Helper()
-	var rb, pb bytes.Buffer
+	var rb, pb, hb bytes.Buffer
 	if err := res.Report.Write(&rb); err != nil {
 		t.Fatal(err)
 	}
 	if err := res.Profile.WriteJSON(&pb); err != nil {
 		t.Fatal(err)
 	}
-	return rb.Bytes(), pb.Bytes()
+	if err := res.Phases.WriteJSON(&hb); err != nil {
+		t.Fatal(err)
+	}
+	return rb.Bytes(), pb.Bytes(), hb.Bytes()
 }
 
 // deltaSums folds the window events of a stream into cumulative
@@ -193,7 +196,7 @@ func TestStreamingOracle(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			wantReport, wantProf := renderArtifacts(t, post)
+			wantReport, wantProf, wantPhases := renderArtifacts(t, post)
 			scale := MasterScale(e)
 			if mm := CheckOracle(post.Report, s, scale, ExactTol); len(mm) != 0 {
 				t.Fatalf("post-mortem baseline fails the oracle: %v", mm)
@@ -215,7 +218,7 @@ func TestStreamingOracle(t *testing.T) {
 				name, plan := name, plan
 				t.Run(name, func(t *testing.T) {
 					res, events := streamPlan(t, cfg, len(blobs), plan)
-					gotReport, gotProf := renderArtifacts(t, res)
+					gotReport, gotProf, gotPhases := renderArtifacts(t, res)
 					if !bytes.Equal(gotReport, wantReport) {
 						t.Errorf("report bytes differ from post-mortem (%d vs %d bytes)",
 							len(gotReport), len(wantReport))
@@ -223,6 +226,10 @@ func TestStreamingOracle(t *testing.T) {
 					if !bytes.Equal(gotProf, wantProf) {
 						t.Errorf("profile bytes differ from post-mortem (%d vs %d bytes)",
 							len(gotProf), len(wantProf))
+					}
+					if !bytes.Equal(gotPhases, wantPhases) {
+						t.Errorf("phase profile bytes differ from post-mortem (%d vs %d bytes)",
+							len(gotPhases), len(wantPhases))
 					}
 					if mm := CheckOracle(res.Report, s, scale, ExactTol); len(mm) != 0 {
 						t.Errorf("streamed result fails the oracle: %v", mm)
@@ -316,7 +323,7 @@ func TestStreamingKernelOracle(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			wantReport, wantProf := renderArtifacts(t, post)
+			wantReport, wantProf, wantPhases := renderArtifacts(t, post)
 			if mm := CheckKernel(post.Report, prog, scale, ExactTol); len(mm) != 0 {
 				t.Fatalf("post-mortem baseline fails the kernel oracle: %v", mm)
 			}
@@ -327,7 +334,7 @@ func TestStreamingKernelOracle(t *testing.T) {
 				planName, plan := planName, plan
 				t.Run(planName, func(t *testing.T) {
 					res, _ := streamPlan(t, cfg, len(blobs), plan)
-					gotReport, gotProf := renderArtifacts(t, res)
+					gotReport, gotProf, gotPhases := renderArtifacts(t, res)
 					if !bytes.Equal(gotReport, wantReport) {
 						t.Errorf("report bytes differ from post-mortem (%d vs %d bytes)",
 							len(gotReport), len(wantReport))
@@ -335,6 +342,10 @@ func TestStreamingKernelOracle(t *testing.T) {
 					if !bytes.Equal(gotProf, wantProf) {
 						t.Errorf("profile bytes differ from post-mortem (%d vs %d bytes)",
 							len(gotProf), len(wantProf))
+					}
+					if !bytes.Equal(gotPhases, wantPhases) {
+						t.Errorf("phase profile bytes differ from post-mortem (%d vs %d bytes)",
+							len(gotPhases), len(wantPhases))
 					}
 					if mm := CheckKernel(res.Report, prog, scale, ExactTol); len(mm) != 0 {
 						t.Errorf("streamed result fails the kernel oracle: %v", mm)
@@ -372,14 +383,17 @@ func TestStreamingDeterminismSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantReport, wantProf := renderArtifacts(t, post)
+	wantReport, wantProf, wantPhases := renderArtifacts(t, post)
 	res, _ := streamPlan(t, cfg, len(blobs), chunkPlans(blobs)["round-robin-small"])
-	gotReport, gotProf := renderArtifacts(t, res)
+	gotReport, gotProf, gotPhases := renderArtifacts(t, res)
 	if !bytes.Equal(gotReport, wantReport) {
 		t.Fatalf("smoke: report bytes differ (%d vs %d)", len(gotReport), len(wantReport))
 	}
 	if !bytes.Equal(gotProf, wantProf) {
 		t.Fatalf("smoke: profile bytes differ (%d vs %d)", len(gotProf), len(wantProf))
+	}
+	if !bytes.Equal(gotPhases, wantPhases) {
+		t.Fatalf("smoke: phase profile bytes differ (%d vs %d)", len(gotPhases), len(wantPhases))
 	}
 	if mm := CheckOracle(res.Report, s, MasterScale(e), ExactTol); len(mm) != 0 {
 		t.Fatalf("smoke: streamed result fails the oracle: %v", mm)

@@ -1,0 +1,210 @@
+package phase
+
+import "sort"
+
+// Pair maps phase index A in the base profile to phase index B in the
+// current profile.
+type Pair struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+// maxLCSCells bounds the LCS table; beyond it Align falls back to
+// positional pairing over the common prefix.
+const maxLCSCells = 4 << 20
+
+// Align pairs the phases of two profiles. When both runs have the
+// same rank count, the same phase count, and positionally equal
+// multiset signatures, the pairing is the identity ("match" mode).
+// Otherwise it aligns on the rank-count-agnostic Kinds signatures
+// with a longest-common-subsequence pass ("align" mode), so a run
+// that gained or lost phases — or changed rank counts — still lines
+// up on structure.
+func Align(a, b *Profile) (mode string, pairs []Pair) {
+	if a.Ranks == b.Ranks && len(a.Phases) == len(b.Phases) {
+		match := true
+		for i := range a.Phases {
+			if a.Phases[i].Sig != b.Phases[i].Sig {
+				match = false
+				break
+			}
+		}
+		if match {
+			pairs = make([]Pair, len(a.Phases))
+			for i := range pairs {
+				pairs[i] = Pair{A: i, B: i}
+			}
+			return "match", pairs
+		}
+	}
+	return "align", lcsPairs(kindsOf(a), kindsOf(b))
+}
+
+func kindsOf(p *Profile) []string {
+	out := make([]string, len(p.Phases))
+	for i, ph := range p.Phases {
+		out[i] = ph.Kinds
+	}
+	return out
+}
+
+// lcsPairs computes a longest common subsequence of the two signature
+// sequences and returns the matched index pairs, strictly increasing
+// in both coordinates.
+func lcsPairs(a, b []string) []Pair {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	if n*m > maxLCSCells {
+		// Degenerate inputs (enormous phase counts): pair positionally
+		// over the common prefix where signatures agree.
+		var pairs []Pair
+		k := n
+		if m < k {
+			k = m
+		}
+		for i := 0; i < k; i++ {
+			if a[i] == b[i] {
+				pairs = append(pairs, Pair{A: i, B: i})
+			}
+		}
+		return pairs
+	}
+	// dp[i][j] = LCS length of a[i:], b[j:].
+	dp := make([][]int32, n+1)
+	cells := make([]int32, (n+1)*(m+1))
+	for i := range dp {
+		dp[i] = cells[i*(m+1) : (i+1)*(m+1)]
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	var pairs []Pair
+	for i, j := 0, 0; i < n && j < m; {
+		switch {
+		case a[i] == b[j]:
+			pairs = append(pairs, Pair{A: i, B: j})
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return pairs
+}
+
+// DeltaRow is one per-(phase pair, family, metahost) severity
+// comparison.
+type DeltaRow struct {
+	PhaseA       int     `json:"phase_a"`
+	PhaseB       int     `json:"phase_b"`
+	Family       string  `json:"family"`
+	Metahost     int     `json:"metahost"`
+	MetahostName string  `json:"metahost_name,omitempty"`
+	Base         float64 `json:"base"`
+	Cur          float64 `json:"cur"`
+	// Ratio is Cur/Base, or 0 when Base is 0.
+	Ratio     float64 `json:"ratio"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Comparison is the machine-readable result of a phase-aligned diff.
+type Comparison struct {
+	Mode        string     `json:"mode"`
+	APhases     int        `json:"a_phases"`
+	BPhases     int        `json:"b_phases"`
+	Pairs       []Pair     `json:"pairs"`
+	Rows        []DeltaRow `json:"rows,omitempty"`
+	Regressions int        `json:"regressions"`
+	Threshold   float64    `json:"threshold"`
+	MinDelta    float64    `json:"min_delta"`
+}
+
+// Default regression gates for Compare: a cell regresses when the
+// current severity is at least Threshold× the base AND grew by at
+// least MinDelta seconds — or appeared from a zero base by MinDelta.
+const (
+	DefaultThreshold = 2.0
+	DefaultMinDelta  = 1e-3
+)
+
+// Compare aligns two phase profiles and flags per-phase severity
+// regressions of b (current) against a (base).
+func Compare(a, b *Profile, threshold, minDelta float64) *Comparison {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	if minDelta <= 0 {
+		minDelta = DefaultMinDelta
+	}
+	mode, pairs := Align(a, b)
+	c := &Comparison{
+		Mode:      mode,
+		APhases:   len(a.Phases),
+		BPhases:   len(b.Phases),
+		Pairs:     pairs,
+		Threshold: threshold,
+		MinDelta:  minDelta,
+	}
+	type cell struct {
+		family   string
+		metahost int
+	}
+	for _, pr := range pairs {
+		pa, pb := &a.Phases[pr.A], &b.Phases[pr.B]
+		seen := make(map[cell]bool, len(pa.Rows)+len(pb.Rows))
+		names := make(map[int]string, 4)
+		var cellsOrder []cell
+		for _, r := range append(append([]SevRow{}, pa.Rows...), pb.Rows...) {
+			k := cell{r.Family, r.Metahost}
+			if !seen[k] {
+				seen[k] = true
+				cellsOrder = append(cellsOrder, k)
+			}
+			if r.MetahostName != "" {
+				names[r.Metahost] = r.MetahostName
+			}
+		}
+		sort.Slice(cellsOrder, func(i, j int) bool {
+			if cellsOrder[i].family != cellsOrder[j].family {
+				return cellsOrder[i].family < cellsOrder[j].family
+			}
+			return cellsOrder[i].metahost < cellsOrder[j].metahost
+		})
+		for _, k := range cellsOrder {
+			base := a.SeverityAt(pr.A, k.family, k.metahost)
+			cur := b.SeverityAt(pr.B, k.family, k.metahost)
+			row := DeltaRow{
+				PhaseA:       pr.A,
+				PhaseB:       pr.B,
+				Family:       k.family,
+				Metahost:     k.metahost,
+				MetahostName: names[k.metahost],
+				Base:         base,
+				Cur:          cur,
+			}
+			if base > 0 {
+				row.Ratio = cur / base
+				row.Regressed = cur >= threshold*base && cur-base >= minDelta
+			} else {
+				row.Regressed = cur >= minDelta
+			}
+			if row.Regressed {
+				c.Regressions++
+			}
+			c.Rows = append(c.Rows, row)
+		}
+	}
+	return c
+}

@@ -1,0 +1,226 @@
+package phase
+
+import (
+	"fmt"
+	"testing"
+)
+
+// mkProfile builds a profile whose phase i carries Sig/Kinds derived
+// from kinds[i], with optional severity rows.
+func mkProfile(ranks int, kinds []uint64, rows map[int][]SevRow) *Profile {
+	p := &Profile{Ranks: ranks, Period: 1, Phases: make([]PhaseRow, len(kinds))}
+	for i, k := range kinds {
+		p.Phases[i] = PhaseRow{
+			Index: i,
+			Start: float64(i),
+			End:   float64(i) + 1,
+			Sig:   sigString(k * 31),
+			Kinds: sigString(k),
+			Ops:   1,
+			Rows:  rows[i],
+		}
+	}
+	return p
+}
+
+func TestAlignMatch(t *testing.T) {
+	a := mkProfile(4, []uint64{1, 2, 1, 2}, nil)
+	b := mkProfile(4, []uint64{1, 2, 1, 2}, nil)
+	mode, pairs := Align(a, b)
+	if mode != "match" {
+		t.Fatalf("mode = %q, want match", mode)
+	}
+	if len(pairs) != 4 {
+		t.Fatalf("pairs = %v, want identity of length 4", pairs)
+	}
+	for i, p := range pairs {
+		if p.A != i || p.B != i {
+			t.Fatalf("pair %d = %+v, want identity", i, p)
+		}
+	}
+}
+
+func TestAlignInsertedPhase(t *testing.T) {
+	a := mkProfile(4, []uint64{1, 2, 1, 2}, nil)
+	b := mkProfile(4, []uint64{1, 2, 9, 1, 2}, nil) // phase 2 inserted
+	mode, pairs := Align(a, b)
+	if mode != "align" {
+		t.Fatalf("mode = %q, want align", mode)
+	}
+	want := []Pair{{0, 0}, {1, 1}, {2, 3}, {3, 4}}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", pairs, want)
+		}
+	}
+}
+
+func TestAlignRankCountChange(t *testing.T) {
+	// Same structure at different rank counts: multiset sigs differ,
+	// Kinds agree, so the LCS pairs everything.
+	a := mkProfile(4, []uint64{1, 2, 1, 2}, nil)
+	b := mkProfile(8, []uint64{1, 2, 1, 2}, nil)
+	for i := range b.Phases {
+		b.Phases[i].Sig = sigString(uint64(1000 + i)) // rank-count-sensitive
+	}
+	mode, pairs := Align(a, b)
+	if mode != "align" || len(pairs) != 4 {
+		t.Fatalf("mode %q pairs %v, want align with 4 pairs", mode, pairs)
+	}
+}
+
+func TestAlignEmpty(t *testing.T) {
+	a := mkProfile(2, nil, nil)
+	b := mkProfile(2, []uint64{1}, nil)
+	if _, pairs := Align(a, b); len(pairs) != 0 {
+		t.Fatalf("pairs = %v, want none", pairs)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	ls, wb := "mpi.late_sender", "mpi.wait_barrier"
+	a := mkProfile(4, []uint64{1, 1, 1}, map[int][]SevRow{
+		0: {{Family: ls, Metahost: 0, Severity: 1.0}},
+		1: {{Family: ls, Metahost: 0, Severity: 1.0}},
+		2: {{Family: wb, Metahost: 1, Severity: 0.5}},
+	})
+	b := mkProfile(4, []uint64{1, 1, 1}, map[int][]SevRow{
+		0: {{Family: ls, Metahost: 0, Severity: 1.1}}, // below threshold
+		1: {{Family: ls, Metahost: 0, Severity: 3.0}}, // 3x: regressed
+		2: {{Family: wb, Metahost: 1, Severity: 0.5},
+			{Family: ls, Metahost: 0, Severity: 0.01}}, // from zero base
+	})
+	c := Compare(a, b, 2.0, 1e-3)
+	if c.Mode != "match" {
+		t.Fatalf("mode = %q, want match", c.Mode)
+	}
+	if c.Regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (rows %+v)", c.Regressions, c.Rows)
+	}
+	find := func(phase int, family string) DeltaRow {
+		for _, r := range c.Rows {
+			if r.PhaseA == phase && r.Family == family {
+				return r
+			}
+		}
+		t.Fatalf("no row for phase %d family %s", phase, family)
+		return DeltaRow{}
+	}
+	if r := find(0, ls); r.Regressed || r.Ratio < 1.09 || r.Ratio > 1.11 {
+		t.Fatalf("phase 0: %+v, want not regressed at ratio 1.1", r)
+	}
+	if r := find(1, ls); !r.Regressed || r.Ratio != 3.0 {
+		t.Fatalf("phase 1: %+v, want regressed at ratio 3", r)
+	}
+	if r := find(2, ls); !r.Regressed || r.Base != 0 || r.Ratio != 0 {
+		t.Fatalf("phase 2 ls: %+v, want regressed from zero base with ratio 0", r)
+	}
+	if r := find(2, wb); r.Regressed {
+		t.Fatalf("phase 2 wb: %+v, want unchanged", r)
+	}
+}
+
+func TestCompareMinDeltaSuppressesNoise(t *testing.T) {
+	ls := "mpi.late_sender"
+	a := mkProfile(2, []uint64{1}, map[int][]SevRow{
+		0: {{Family: ls, Metahost: 0, Severity: 1e-6}},
+	})
+	b := mkProfile(2, []uint64{1}, map[int][]SevRow{
+		0: {{Family: ls, Metahost: 0, Severity: 5e-6}},
+	})
+	if c := Compare(a, b, 2.0, 1e-3); c.Regressions != 0 {
+		t.Fatalf("regressions = %d, want 0 (5x growth below min delta)", c.Regressions)
+	}
+}
+
+func TestCompareDefaults(t *testing.T) {
+	a := mkProfile(2, []uint64{1}, nil)
+	c := Compare(a, a, 0, 0)
+	if c.Threshold != DefaultThreshold || c.MinDelta != DefaultMinDelta {
+		t.Fatalf("defaults not applied: threshold %g min delta %g", c.Threshold, c.MinDelta)
+	}
+}
+
+// FuzzPhaseAlign checks the aligner's invariants on arbitrary phase
+// signature sequences: pairs strictly increasing in both coordinates,
+// indices in range, matched phases structurally equal in align mode,
+// and Compare self-consistent.
+func FuzzPhaseAlign(f *testing.F) {
+	f.Add([]byte{1, 2, 1, 2}, []byte{1, 2, 1, 2})
+	f.Add([]byte{1, 2, 1, 2}, []byte{1, 2, 9, 1, 2})
+	f.Add([]byte{}, []byte{3, 3, 3})
+	f.Add([]byte{5, 4, 3, 2, 1}, []byte{1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, sa, sb []byte) {
+		if len(sa) > 512 {
+			sa = sa[:512]
+		}
+		if len(sb) > 512 {
+			sb = sb[:512]
+		}
+		mk := func(s []byte) *Profile {
+			kinds := make([]uint64, len(s))
+			for i, c := range s {
+				kinds[i] = uint64(c%7) + 1 // small alphabet: force real LCS work
+			}
+			var rows map[int][]SevRow
+			if len(s) > 0 {
+				rows = map[int][]SevRow{0: {{Family: "mpi.late_sender", Metahost: 0,
+					Severity: float64(s[0])}}}
+			}
+			return mkProfile(2, kinds, rows)
+		}
+		a, b := mk(sa), mk(sb)
+		mode, pairs := Align(a, b)
+		if mode != "match" && mode != "align" {
+			t.Fatalf("unknown mode %q", mode)
+		}
+		if n := min(len(a.Phases), len(b.Phases)); len(pairs) > n {
+			t.Fatalf("%d pairs exceed min phase count %d", len(pairs), n)
+		}
+		for i, p := range pairs {
+			if p.A < 0 || p.A >= len(a.Phases) || p.B < 0 || p.B >= len(b.Phases) {
+				t.Fatalf("pair %+v out of range (%d x %d phases)", p, len(a.Phases), len(b.Phases))
+			}
+			if i > 0 && (p.A <= pairs[i-1].A || p.B <= pairs[i-1].B) {
+				t.Fatalf("pairs not strictly increasing: %v", pairs)
+			}
+			if a.Phases[p.A].Kinds != b.Phases[p.B].Kinds {
+				t.Fatalf("pair %+v matches different structures %s vs %s",
+					p, a.Phases[p.A].Kinds, b.Phases[p.B].Kinds)
+			}
+		}
+		c := Compare(a, b, 2.0, 1e-3)
+		n := 0
+		for _, r := range c.Rows {
+			if r.Regressed {
+				n++
+			}
+		}
+		if n != c.Regressions {
+			t.Fatalf("Regressions = %d, rows flag %d", c.Regressions, n)
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Guard against accidental format drift in the hex signatures the
+// aligner keys on.
+func TestSigStringWidth(t *testing.T) {
+	for _, v := range []uint64{0, 1, ^uint64(0)} {
+		if s := sigString(v); len(s) != 16 {
+			t.Fatalf("sigString(%d) = %q, want 16 hex digits", v, s)
+		}
+	}
+	if sigString(255) != fmt.Sprintf("%016x", 255) {
+		t.Fatal("sigString format drifted")
+	}
+}

@@ -1,0 +1,276 @@
+package phase
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FamilyOf folds a profile metric key to its pattern family: the grid
+// and wrong-order specializations are children of their base pattern
+// in the metric tree, and per-phase severities are reported at family
+// granularity (matching the streaming sink's contract).
+func FamilyOf(metric string) string {
+	metric = strings.TrimSuffix(metric, ".grid")
+	return strings.TrimSuffix(metric, ".wrong_order")
+}
+
+// SevRow is one (family, metahost) severity cell of one phase.
+type SevRow struct {
+	Family       string  `json:"family"`
+	Metahost     int     `json:"metahost"`
+	MetahostName string  `json:"metahost_name,omitempty"`
+	Severity     float64 `json:"severity"`
+}
+
+// PhaseRow is one detected phase of the artifact.
+type PhaseRow struct {
+	Index int     `json:"index"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Sig is the phase's multiset signature (hex): equal iff the
+	// phases ran the same multiset of region instances over the same
+	// rank count.
+	Sig string `json:"sig"`
+	// Kinds is the rank-count-agnostic structural signature (hex):
+	// equal iff the phases ran the same set of region names. Cross-
+	// archive alignment with changed rank counts matches on it.
+	Kinds string   `json:"kinds"`
+	Ops   int      `json:"ops"`
+	Rows  []SevRow `json:"rows,omitempty"`
+}
+
+// Profile is the deterministic per-phase severity artifact — the
+// phase-resolved counterpart of profile.Profile, written by mtanalyze
+// -phases-out and compared by mtdiff -phases.
+type Profile struct {
+	Title  string `json:"title,omitempty"`
+	Ranks  int    `json:"ranks"`
+	Period int    `json:"period"`
+	Pre    int    `json:"pre,omitempty"`
+	Post   int    `json:"post,omitempty"`
+	// Phases lists every detected phase in time order, each with its
+	// per-(family, metahost) severities sorted by (family, metahost).
+	Phases []PhaseRow `json:"phases"`
+}
+
+// SeverityAt returns the severity of (family, metahost) in phase i, or
+// 0 when absent.
+func (p *Profile) SeverityAt(i int, family string, metahost int) float64 {
+	if i < 0 || i >= len(p.Phases) {
+		return 0
+	}
+	for _, r := range p.Phases[i].Rows {
+		if r.Family == family && r.Metahost == metahost {
+			return r.Severity
+		}
+	}
+	return 0
+}
+
+// FamilyTotal sums one family's severity over every phase and
+// metahost — the global number the per-phase rows refine.
+func (p *Profile) FamilyTotal(family string) float64 {
+	total := 0.0
+	for _, ph := range p.Phases {
+		for _, r := range ph.Rows {
+			if r.Family == family {
+				total += r.Severity
+			}
+		}
+	}
+	return total
+}
+
+// sigString renders a signature in the artifact's fixed-width hex.
+func sigString(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+// cellKey addresses one accumulator cell.
+type cellKey struct {
+	phase    int
+	family   string
+	metahost int
+}
+
+// Accumulator folds severity deposits into per-(phase, family,
+// metahost) cells. It must be fed sequentially in a deterministic
+// order: each cell's floating-point sum is the deposits in call order,
+// which is what keeps the artifact byte-identical across analysis
+// modes (the replay folds rank-major over per-rank deferred logs).
+type Accumulator struct {
+	seg   *Segmentation
+	ranks int
+	cells map[cellKey]float64
+	names map[int]string
+}
+
+// NewAccumulator prepares an accumulator over the detected
+// segmentation for a run with the given rank count.
+func NewAccumulator(seg *Segmentation, ranks int) *Accumulator {
+	return &Accumulator{
+		seg:   seg,
+		ranks: ranks,
+		cells: make(map[cellKey]float64, 64),
+		names: make(map[int]string, 4),
+	}
+}
+
+// SetMetahostName registers a metahost's display name.
+func (a *Accumulator) SetMetahostName(mh int, name string) { a.names[mh] = name }
+
+// Add deposits one severity (or volume) sample: the whole value is
+// attributed to the phase containing its start time, folded to the
+// metric's family.
+func (a *Accumulator) Add(metric string, metahost int, start, val float64) {
+	if val == 0 {
+		return
+	}
+	k := cellKey{phase: a.seg.IndexOf(start), family: FamilyOf(metric), metahost: metahost}
+	a.cells[k] += val
+}
+
+// Snapshot renders the accumulated cells as the artifact, rows sorted
+// by (phase, family, metahost).
+func (a *Accumulator) Snapshot(title string) *Profile {
+	keys := make([]cellKey, 0, len(a.cells))
+	for k := range a.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].phase != keys[j].phase {
+			return keys[i].phase < keys[j].phase
+		}
+		if keys[i].family != keys[j].family {
+			return keys[i].family < keys[j].family
+		}
+		return keys[i].metahost < keys[j].metahost
+	})
+	p := &Profile{
+		Title:  title,
+		Ranks:  a.ranks,
+		Period: a.seg.Period,
+		Pre:    a.seg.Pre,
+		Post:   a.seg.Post,
+		Phases: make([]PhaseRow, a.seg.Phases()),
+	}
+	for i := range p.Phases {
+		p.Phases[i] = PhaseRow{
+			Index: i,
+			Start: a.seg.Bounds[i],
+			End:   a.seg.Bounds[i+1],
+			Sig:   sigString(a.seg.Sigs[i]),
+			Kinds: sigString(a.seg.Kinds[i]),
+			Ops:   a.seg.Counts[i],
+		}
+	}
+	for _, k := range keys {
+		p.Phases[k.phase].Rows = append(p.Phases[k.phase].Rows, SevRow{
+			Family:       k.family,
+			Metahost:     k.metahost,
+			MetahostName: a.names[k.metahost],
+			Severity:     a.cells[k],
+		})
+	}
+	return p
+}
+
+// WriteJSON writes the artifact as indented JSON. Row order is fixed
+// by Snapshot and encoding/json formats floats canonically, so equal
+// profiles serialize byte-identically.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteCSV writes the artifact in long CSV form: one line per
+// severity cell, phases without cells keeping one line so the phase
+// structure survives the export.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# ranks=%d period=%d pre=%d post=%d phases=%d\n",
+		p.Ranks, p.Period, p.Pre, p.Post, len(p.Phases))
+	b.WriteString("phase,start,end,sig,kinds,ops,family,metahost,metahost_name,severity\n")
+	for _, ph := range p.Phases {
+		prefix := fmt.Sprintf("%d,%s,%s,%s,%s,%d", ph.Index,
+			strconv.FormatFloat(ph.Start, 'g', -1, 64),
+			strconv.FormatFloat(ph.End, 'g', -1, 64), ph.Sig, ph.Kinds, ph.Ops)
+		if len(ph.Rows) == 0 {
+			fmt.Fprintf(&b, "%s,,,,\n", prefix)
+			continue
+		}
+		for _, r := range ph.Rows {
+			fmt.Fprintf(&b, "%s,%s,%d,%s,%s\n", prefix, r.Family, r.Metahost,
+				csvEscape(r.MetahostName), strconv.FormatFloat(r.Severity, 'g', -1, 64))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// WriteFile writes the artifact to path, choosing CSV for .csv paths
+// and JSON otherwise.
+func (p *Profile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = p.WriteCSV(f)
+	} else {
+		err = p.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Read decodes a JSON phase artifact and validates its shape.
+func Read(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("phase: decoding artifact: %w", err)
+	}
+	if p.Period < 1 {
+		return nil, fmt.Errorf("phase: invalid artifact: period %d", p.Period)
+	}
+	for i, ph := range p.Phases {
+		if ph.Index != i {
+			return nil, fmt.Errorf("phase: invalid artifact: phase %d carries index %d", i, ph.Index)
+		}
+		if ph.End < ph.Start {
+			return nil, fmt.Errorf("phase: invalid artifact: phase %d spans [%g, %g)", i, ph.Start, ph.End)
+		}
+	}
+	return &p, nil
+}
+
+// ReadFile reads a JSON phase artifact from path.
+func ReadFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

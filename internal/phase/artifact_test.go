@@ -1,0 +1,157 @@
+package phase
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFamilyOf(t *testing.T) {
+	cases := map[string]string{
+		"mpi.late_sender":             "mpi.late_sender",
+		"mpi.late_sender.grid":        "mpi.late_sender",
+		"mpi.late_sender.wrong_order": "mpi.late_sender",
+		"mpi.wait_barrier.grid":       "mpi.wait_barrier",
+	}
+	for in, want := range cases {
+		if got := FamilyOf(in); got != want {
+			t.Fatalf("FamilyOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func testSeg() *Segmentation {
+	return &Segmentation{
+		Bounds: []float64{0, 10, 20},
+		Sigs:   []uint64{0xa1, 0xa2},
+		Kinds:  []uint64{0xb1, 0xb2},
+		Counts: []int{3, 3},
+		Period: 1,
+	}
+}
+
+func TestAccumulatorFoldsByPhaseFamilyMetahost(t *testing.T) {
+	acc := NewAccumulator(testSeg(), 4)
+	acc.SetMetahostName(0, "viola-a")
+	acc.Add("mpi.late_sender", 0, 1.0, 0.5)
+	acc.Add("mpi.late_sender.grid", 0, 2.0, 0.25) // folds into the family
+	acc.Add("mpi.late_sender", 0, 15.0, 1.5)      // second phase
+	acc.Add("mpi.wait_barrier", 1, 3.0, 2.0)
+	acc.Add("mpi.wait_barrier", 1, 4.0, 0) // zero severities are dropped
+	p := acc.Snapshot("t")
+	if p.Title != "t" || p.Ranks != 4 || p.Period != 1 || len(p.Phases) != 2 {
+		t.Fatalf("header wrong: %+v", p)
+	}
+	wantP0 := []SevRow{
+		{Family: "mpi.late_sender", Metahost: 0, MetahostName: "viola-a", Severity: 0.75},
+		{Family: "mpi.wait_barrier", Metahost: 1, Severity: 2.0},
+	}
+	if !reflect.DeepEqual(p.Phases[0].Rows, wantP0) {
+		t.Fatalf("phase 0 rows = %+v, want %+v", p.Phases[0].Rows, wantP0)
+	}
+	if got := p.SeverityAt(1, "mpi.late_sender", 0); got != 1.5 {
+		t.Fatalf("SeverityAt(1) = %g, want 1.5", got)
+	}
+	if got := p.SeverityAt(7, "mpi.late_sender", 0); got != 0 {
+		t.Fatalf("SeverityAt out of range = %g, want 0", got)
+	}
+	if got := p.FamilyTotal("mpi.late_sender"); got != 2.25 {
+		t.Fatalf("FamilyTotal = %g, want 2.25", got)
+	}
+	if p.Phases[0].Sig != sigString(0xa1) || p.Phases[1].Kinds != sigString(0xb2) {
+		t.Fatalf("signatures not carried: %+v", p.Phases)
+	}
+}
+
+func TestArtifactJSONRoundTrip(t *testing.T) {
+	acc := NewAccumulator(testSeg(), 4)
+	acc.SetMetahostName(1, "ibm-power")
+	acc.Add("mpi.late_sender", 1, 1.0, 0.125)
+	p := acc.Snapshot("round-trip")
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", got, p)
+	}
+	var again bytes.Buffer
+	if err := got.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-serialization is not byte-identical")
+	}
+}
+
+func TestArtifactCSV(t *testing.T) {
+	acc := NewAccumulator(testSeg(), 4)
+	acc.SetMetahostName(0, "a,b") // must be escaped
+	acc.Add("mpi.late_sender", 0, 1.0, 0.5)
+	var buf bytes.Buffer
+	if err := acc.Snapshot("").WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// header comment + column header + one cell line + one empty-phase line
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "# ranks=4 period=1") {
+		t.Fatalf("bad comment header: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"a,b"`) {
+		t.Fatalf("metahost name not escaped: %s", lines[2])
+	}
+	if !strings.HasSuffix(lines[3], ",,,,") {
+		t.Fatalf("empty phase line missing: %s", lines[3])
+	}
+}
+
+func TestArtifactWriteReadFile(t *testing.T) {
+	acc := NewAccumulator(testSeg(), 2)
+	acc.Add("mpi.wait_nxn", 0, 1.0, 3.5)
+	p := acc.Snapshot("file")
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "phases.json")
+	csvPath := filepath.Join(dir, "phases.csv")
+	if err := p.WriteFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteFile(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("file round trip drifted: %+v vs %+v", got, p)
+	}
+	if _, err := ReadFile(csvPath); err == nil {
+		t.Fatal("reading CSV as JSON must fail")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"ranks":2,"period":0,"phases":[]}`,
+		`{"ranks":2,"period":1,"phases":[{"index":1,"start":0,"end":1}]}`,
+		`{"ranks":2,"period":1,"phases":[{"index":0,"start":5,"end":1}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("Read accepted malformed artifact %s", c)
+		}
+	}
+}

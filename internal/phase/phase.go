@@ -1,0 +1,409 @@
+// Package phase detects the repeating iteration structure of a
+// replayed experiment and folds wait-state severities per iteration
+// instead of globally.
+//
+// Real metacomputing applications iterate; the paper's displays
+// aggregate. A severity that appears only in one iteration on one
+// metahost vanishes in the global mean, so the analyzer records, per
+// rank, one signature per completed non-user region instance and this
+// package segments the run into phases:
+//
+//  1. the union of all region intervals across ranks yields the
+//     covered portions of the time axis; the silences between them are
+//     candidate phase boundaries,
+//  2. every candidate partition (cut at all gaps at least as long as a
+//     threshold, thresholds tried finest-first) is summarized per rank
+//     and per phase by an order-insensitive multiset hash of the
+//     region signatures inside it,
+//  3. a partition is accepted when every rank's phase sequence is
+//     periodic after trimming a bounded prologue/epilogue — the
+//     per-rank period may differ (ragged rank boundaries: a border
+//     rank of a stencil participates in every other exchange).
+//
+// The multiset hash is a sum of mixed signatures, so it is associative
+// across atom merges: a partition's phase hash never depends on where
+// sporadic within-phase silences happened to fall. All hashes are over
+// region names only — never over timestamps — so equal schedules with
+// different speeds segment identically.
+package phase
+
+import "sort"
+
+// Op is one completed non-user region instance observed by the replay
+// sweep of one rank, in corrected time.
+type Op struct {
+	Enter float64
+	Exit  float64
+	Sig   uint64 // SigOf the region name
+}
+
+// SigOf hashes a region name (FNV-1a 64).
+func SigOf(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: it decorrelates region-name
+// hashes before they enter the additive multiset hash, so the sum
+// distinguishes multisets that plain FNV sums would alias.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Segmentation is a detected phase structure: K phases delimited by
+// K+1 time bounds, each carrying a global multiset signature.
+type Segmentation struct {
+	// Bounds holds the phase edges in corrected seconds: phase i spans
+	// [Bounds[i], Bounds[i+1]). len(Bounds) == Phases()+1.
+	Bounds []float64
+	// Sigs is the per-phase multiset hash over every rank's ops — the
+	// exact-match signature (sensitive to op counts and rank count).
+	Sigs []uint64
+	// Kinds is the per-phase structural signature: a hash of the set
+	// of distinct region names only, insensitive to how many ranks ran
+	// them. Cross-archive alignment with changed rank counts uses it.
+	Kinds []uint64
+	// Counts is the per-phase total op count across ranks.
+	Counts []int
+	// Pre and Post count prologue/epilogue phases excluded from the
+	// periodic core during validation (0 on clean iterative runs).
+	Pre, Post int
+	// Period is the minimal shift-period of the core phase signature
+	// sequence: Sigs[i] == Sigs[i-Period] for all core i ≥ Period.
+	Period int
+}
+
+// Phases returns the number of detected phases.
+func (s *Segmentation) Phases() int { return len(s.Sigs) }
+
+// IndexOf returns the phase containing corrected time t, clamped to
+// the first/last phase for times outside the covered span.
+func (s *Segmentation) IndexOf(t float64) int {
+	i := sort.SearchFloat64s(s.Bounds, t) // first bound >= t
+	if i == len(s.Bounds) || s.Bounds[i] != t {
+		i--
+	}
+	if i < 0 {
+		i = 0
+	}
+	if last := s.Phases() - 1; i > last {
+		i = last
+	}
+	return i
+}
+
+// maxCuts bounds the number of silence gaps considered as phase
+// boundaries; only the longest maxCuts gaps stay cuttable on
+// pathological inputs, keeping detection near-linear.
+const maxCuts = 4096
+
+// trimOrder lists the (prologue, epilogue) trims validation tries, in
+// order of total trimmed phases: a clean iterative run accepts at
+// (0,0); an MPI_Init-style preamble or a closing barrier costs one.
+var trimOrder = [][2]int{
+	{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 0}, {0, 2}, {2, 1}, {1, 2}, {2, 2},
+}
+
+// interval is one covered span of the time axis.
+type interval struct{ a, b float64 }
+
+// rankAtom is one rank's multiset summary of one atom.
+type rankAtom struct {
+	sum uint64
+	cnt int
+}
+
+// Detect segments the run described by the per-rank op logs. It never
+// fails: runs with no detectable repetition fall back to the finest
+// silence partition, and an empty input yields one empty phase.
+func Detect(ops [][]Op) *Segmentation {
+	total := 0
+	for _, ol := range ops {
+		total += len(ol)
+	}
+	if total == 0 {
+		return &Segmentation{
+			Bounds: []float64{0, 0},
+			Sigs:   []uint64{0},
+			Kinds:  []uint64{0},
+			Counts: []int{0},
+			Period: 1,
+		}
+	}
+
+	// Coverage union across all ranks.
+	ivs := make([]interval, 0, total)
+	for _, ol := range ops {
+		for _, op := range ol {
+			b := op.Exit
+			if b < op.Enter {
+				b = op.Enter
+			}
+			ivs = append(ivs, interval{op.Enter, b})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].a != ivs[j].a {
+			return ivs[i].a < ivs[j].a
+		}
+		return ivs[i].b < ivs[j].b
+	})
+	segs := make([]interval, 0, 64)
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.a <= cur.b {
+			if iv.b > cur.b {
+				cur.b = iv.b
+			}
+			continue
+		}
+		segs = append(segs, cur)
+		cur = iv
+	}
+	segs = append(segs, cur)
+
+	// On inputs with more silences than maxCuts, pre-merge across the
+	// shortest ones so only the longest maxCuts gaps stay cuttable.
+	if len(segs) > maxCuts+1 {
+		lens := make([]float64, 0, len(segs)-1)
+		for i := 0; i+1 < len(segs); i++ {
+			lens = append(lens, segs[i+1].a-segs[i].b)
+		}
+		sort.Float64s(lens)
+		floor := lens[len(lens)-maxCuts]
+		merged := segs[:1]
+		for _, sg := range segs[1:] {
+			last := &merged[len(merged)-1]
+			if sg.a-last.b < floor {
+				last.b = sg.b
+				continue
+			}
+			merged = append(merged, sg)
+		}
+		segs = merged
+	}
+
+	nAtoms := len(segs)
+	starts := make([]float64, nAtoms)
+	for i, sg := range segs {
+		starts[i] = sg.a
+	}
+	atomOf := func(enter float64) int {
+		i := sort.SearchFloat64s(starts, enter)
+		if i == nAtoms || starts[i] > enter {
+			i--
+		}
+		return i
+	}
+
+	// Per-rank per-atom multiset sums, plus the global distinct-name
+	// sets feeding the rank-agnostic structural signatures.
+	perRank := make([][]rankAtom, len(ops))
+	kindSets := make([]map[uint64]struct{}, nAtoms)
+	for r, ol := range ops {
+		if len(ol) == 0 {
+			continue
+		}
+		row := make([]rankAtom, nAtoms)
+		for _, op := range ol {
+			at := atomOf(op.Enter)
+			row[at].sum += mix64(op.Sig)
+			row[at].cnt++
+			ks := kindSets[at]
+			if ks == nil {
+				ks = make(map[uint64]struct{}, 4)
+				kindSets[at] = ks
+			}
+			ks[op.Sig] = struct{}{}
+		}
+		perRank[r] = row
+	}
+
+	gaps := make([]float64, nAtoms-1)
+	for i := range gaps {
+		gaps[i] = segs[i+1].a - segs[i].b
+	}
+	thresholds := append([]float64(nil), gaps...)
+	sort.Float64s(thresholds)
+	distinct := thresholds[:0]
+	for i, t := range thresholds {
+		if i == 0 || t != thresholds[i-1] {
+			distinct = append(distinct, t)
+		}
+	}
+
+	cutAt := func(threshold float64) []int {
+		var cuts []int
+		for i, g := range gaps {
+			if g >= threshold {
+				cuts = append(cuts, i)
+			}
+		}
+		return cuts
+	}
+
+	for _, th := range distinct {
+		cuts := cutAt(th)
+		if len(cuts) == 0 {
+			break // coarser thresholds only remove more cuts
+		}
+		if pre, post, ok := validate(perRank, nAtoms, cuts); ok {
+			return build(segs, cuts, perRank, kindSets, pre, post)
+		}
+	}
+	// No periodic partition: fall back to the finest silence partition
+	// so the artifact still resolves the run's covered spans.
+	return build(segs, cutAt(0), perRank, kindSets, 0, 0)
+}
+
+// phaseSeq folds a rank's atom summaries into per-phase tuples for the
+// partition cutting after the given atom indices.
+func phaseSeq(row []rankAtom, nAtoms int, cuts []int, out []rankAtom) []rankAtom {
+	out = out[:0]
+	acc := rankAtom{}
+	next := 0
+	for a := 0; a < nAtoms; a++ {
+		acc.sum += row[a].sum
+		acc.cnt += row[a].cnt
+		if next < len(cuts) && cuts[next] == a {
+			out = append(out, acc)
+			acc = rankAtom{}
+			next++
+		}
+	}
+	return append(out, acc)
+}
+
+// minPeriod returns the minimal shift-period of seq via the KMP
+// failure function: p is the smallest value with seq[i] == seq[i-p]
+// for all i ≥ p.
+func minPeriod(seq []rankAtom) int {
+	n := len(seq)
+	if n == 0 {
+		return 1
+	}
+	fail := make([]int, n+1)
+	fail[0], fail[1] = -1, 0
+	k := 0
+	for i := 1; i < n; i++ {
+		for k >= 0 && seq[i] != seq[k] {
+			k = fail[k]
+		}
+		k++
+		fail[i+1] = k
+	}
+	return n - fail[n]
+}
+
+// validate accepts a partition when, after one global trim, every
+// rank's phase-tuple sequence repeats at least twice.
+func validate(perRank [][]rankAtom, nAtoms int, cuts []int) (pre, post int, ok bool) {
+	k := len(cuts) + 1
+	if k < 2 {
+		return 0, 0, false
+	}
+	seqs := make([][]rankAtom, 0, len(perRank))
+	var buf []rankAtom
+	for _, row := range perRank {
+		if row == nil {
+			continue
+		}
+		buf = phaseSeq(row, nAtoms, cuts, buf)
+		seqs = append(seqs, append([]rankAtom(nil), buf...))
+	}
+	for _, tr := range trimOrder {
+		pre, post = tr[0], tr[1]
+		l := k - pre - post
+		if l < 2 {
+			continue
+		}
+		allOK := true
+		for _, seq := range seqs {
+			p := minPeriod(seq[pre : k-post])
+			if 2*p > l {
+				allOK = false
+				break
+			}
+		}
+		if allOK {
+			return pre, post, true
+		}
+	}
+	return 0, 0, false
+}
+
+// build assembles the Segmentation for an accepted partition.
+func build(segs []interval, cuts []int, perRank [][]rankAtom, kindSets []map[uint64]struct{}, pre, post int) *Segmentation {
+	k := len(cuts) + 1
+	s := &Segmentation{
+		Bounds: make([]float64, 0, k+1),
+		Sigs:   make([]uint64, k),
+		Kinds:  make([]uint64, k),
+		Counts: make([]int, k),
+		Pre:    pre,
+		Post:   post,
+	}
+	s.Bounds = append(s.Bounds, segs[0].a)
+	for _, c := range cuts {
+		s.Bounds = append(s.Bounds, (segs[c].b+segs[c+1].a)/2)
+	}
+	s.Bounds = append(s.Bounds, segs[len(segs)-1].b)
+
+	nAtoms := len(segs)
+	var buf []rankAtom
+	for _, row := range perRank {
+		if row == nil {
+			continue
+		}
+		buf = phaseSeq(row, nAtoms, cuts, buf)
+		for i, t := range buf {
+			s.Sigs[i] += t.sum
+			s.Counts[i] += t.cnt
+		}
+	}
+	// Structural signatures: XOR over the distinct region-name hashes
+	// of each phase (set semantics — merging atoms unions the sets).
+	next, phase := 0, 0
+	kinds := make(map[uint64]struct{}, 8)
+	flush := func() {
+		var h uint64
+		for sig := range kinds {
+			h ^= mix64(sig)
+		}
+		s.Kinds[phase] = h
+		phase++
+		for sig := range kinds {
+			delete(kinds, sig)
+		}
+	}
+	for a := 0; a < nAtoms; a++ {
+		for sig := range kindSets[a] {
+			kinds[sig] = struct{}{}
+		}
+		if next < len(cuts) && cuts[next] == a {
+			flush()
+			next++
+		}
+	}
+	flush()
+
+	core := make([]rankAtom, 0, k)
+	for i := pre; i < k-post; i++ {
+		core = append(core, rankAtom{sum: s.Sigs[i], cnt: s.Counts[i]})
+	}
+	s.Period = minPeriod(core)
+	return s
+}

@@ -1,0 +1,223 @@
+package phase
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+var (
+	sigA    = SigOf("MPI_Send")
+	sigB    = SigOf("MPI_Recv")
+	sigC    = SigOf("MPI_Barrier")
+	sigInit = SigOf("MPI_Init")
+)
+
+// op is a test shorthand.
+func op(enter, exit float64, sig uint64) Op { return Op{Enter: enter, Exit: exit, Sig: sig} }
+
+func TestSigOfDistinguishesNames(t *testing.T) {
+	if sigA == sigB || sigA == sigC || sigB == sigC {
+		t.Fatalf("region signatures collide: %x %x %x", sigA, sigB, sigC)
+	}
+	if SigOf("MPI_Send") != sigA {
+		t.Fatal("SigOf is not a pure function of the name")
+	}
+}
+
+func TestDetectEmpty(t *testing.T) {
+	for _, in := range [][][]Op{nil, {}, {nil, nil}} {
+		s := Detect(in)
+		if s.Phases() != 1 || s.Period != 1 || s.Counts[0] != 0 {
+			t.Fatalf("empty input: got %d phases period %d counts %v", s.Phases(), s.Period, s.Counts)
+		}
+	}
+}
+
+// TestDetectPeriodic is the clean case: two ranks, three iterations of
+// an exchange/reduce pair separated by silences.
+func TestDetectPeriodic(t *testing.T) {
+	var r0, r1 []Op
+	for i := 0; i < 3; i++ {
+		t0 := float64(i) * 10
+		r0 = append(r0, op(t0, t0+1, sigA), op(t0+5, t0+6, sigB))
+		r1 = append(r1, op(t0+0.2, t0+1.2, sigA), op(t0+5.2, t0+6.2, sigB))
+	}
+	s := Detect([][]Op{r0, r1})
+	if s.Phases() != 6 {
+		t.Fatalf("phases = %d, want 6 (bounds %v)", s.Phases(), s.Bounds)
+	}
+	if s.Period != 2 || s.Pre != 0 || s.Post != 0 {
+		t.Fatalf("period %d pre %d post %d, want 2 0 0", s.Period, s.Pre, s.Post)
+	}
+	for i, c := range s.Counts {
+		if c != 2 {
+			t.Fatalf("phase %d: %d ops, want 2", i, c)
+		}
+	}
+	// Alternating steps: signatures repeat with period 2 exactly.
+	for i := 2; i < 6; i++ {
+		if s.Sigs[i] != s.Sigs[i-2] || s.Kinds[i] != s.Kinds[i-2] {
+			t.Fatalf("phase %d does not repeat phase %d", i, i-2)
+		}
+	}
+	if s.Sigs[0] == s.Sigs[1] {
+		t.Fatal("distinct steps alias to one signature")
+	}
+}
+
+// TestDetectPrologueTrim plants a one-off setup region before the
+// periodic body; validation must absorb it as a prologue phase.
+func TestDetectPrologueTrim(t *testing.T) {
+	rows := make([][]Op, 2)
+	for r := range rows {
+		rows[r] = append(rows[r], op(-10, -9, sigInit))
+		for i := 0; i < 3; i++ {
+			t0 := float64(i) * 10
+			rows[r] = append(rows[r], op(t0, t0+1, sigA), op(t0+5, t0+6, sigB))
+		}
+	}
+	s := Detect(rows)
+	if s.Phases() != 7 || s.Pre != 1 || s.Post != 0 || s.Period != 2 {
+		t.Fatalf("phases %d pre %d post %d period %d, want 7 1 0 2",
+			s.Phases(), s.Pre, s.Post, s.Period)
+	}
+}
+
+// TestDetectRaggedRanks: rank 1 only joins every other step (a border
+// rank of a stencil). Its per-rank period differs from rank 0's, and
+// detection must still accept the partition.
+func TestDetectRaggedRanks(t *testing.T) {
+	var r0, r1 []Op
+	for i := 0; i < 6; i++ {
+		t0 := float64(i) * 10
+		r0 = append(r0, op(t0, t0+1, sigA))
+		if i%2 == 0 {
+			r1 = append(r1, op(t0, t0+1, sigA))
+		}
+	}
+	s := Detect([][]Op{r0, r1})
+	if s.Phases() != 6 {
+		t.Fatalf("phases = %d, want 6", s.Phases())
+	}
+	if s.Period != 2 {
+		t.Fatalf("period = %d, want 2 (op counts alternate 2,1)", s.Period)
+	}
+	wantCounts := []int{2, 1, 2, 1, 2, 1}
+	if !reflect.DeepEqual(s.Counts, wantCounts) {
+		t.Fatalf("counts = %v, want %v", s.Counts, wantCounts)
+	}
+}
+
+// TestDetectSkipsAperiodicFinestCut: the middle iteration has an
+// internal silence the others lack, so the finest partition is
+// aperiodic (and beyond what prologue/epilogue trimming may absorb)
+// and detection must advance to the coarser threshold that recovers
+// the five iterations.
+func TestDetectSkipsAperiodicFinestCut(t *testing.T) {
+	var r0 []Op
+	for i := 0; i < 5; i++ {
+		t0 := float64(i) * 10
+		if i == 2 {
+			r0 = append(r0, op(t0, t0+1, sigA), op(t0+2, t0+3, sigB))
+		} else {
+			r0 = append(r0, op(t0, t0+1, sigA), op(t0+1, t0+2, sigB))
+		}
+	}
+	s := Detect([][]Op{r0})
+	if s.Phases() != 5 || s.Period != 1 {
+		t.Fatalf("phases %d period %d, want 5 1 (bounds %v)", s.Phases(), s.Period, s.Bounds)
+	}
+	for i, c := range s.Counts {
+		if c != 2 {
+			t.Fatalf("phase %d: %d ops, want 2", i, c)
+		}
+	}
+}
+
+// TestDetectFallback: three unrelated regions with no repetition at
+// any threshold fall back to the finest silence partition.
+func TestDetectFallback(t *testing.T) {
+	r0 := []Op{op(0, 1, sigA), op(11, 12, sigB), op(23, 24, sigC)}
+	s := Detect([][]Op{r0})
+	if s.Phases() != 3 || s.Pre != 0 || s.Post != 0 {
+		t.Fatalf("phases %d pre %d post %d, want 3 0 0", s.Phases(), s.Pre, s.Post)
+	}
+	if s.Period != 3 {
+		t.Fatalf("period = %d, want 3 (aperiodic fallback)", s.Period)
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	s := &Segmentation{
+		Bounds: []float64{0, 5, 10},
+		Sigs:   []uint64{1, 2},
+		Kinds:  []uint64{1, 2},
+		Counts: []int{1, 1},
+		Period: 1,
+	}
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {4.9, 0}, {5, 1}, {7, 1}, {10, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := s.IndexOf(c.t); got != c.want {
+			t.Fatalf("IndexOf(%g) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+// TestDetectOrderInsensitive: the multiset hash must not depend on op
+// order within a rank's log.
+func TestDetectOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := make([][]Op, 3)
+	for r := range base {
+		for i := 0; i < 4; i++ {
+			t0 := float64(i)*8 + rng.Float64()
+			base[r] = append(base[r], op(t0, t0+1, sigA), op(t0+3, t0+4, sigB))
+		}
+	}
+	want := Detect(base)
+	shuffled := make([][]Op, len(base))
+	for r := range base {
+		shuffled[r] = append([]Op(nil), base[r]...)
+		rng.Shuffle(len(shuffled[r]), func(i, j int) {
+			shuffled[r][i], shuffled[r][j] = shuffled[r][j], shuffled[r][i]
+		})
+	}
+	got := Detect(shuffled)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("detection depends on op order:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDetectManyGapsStaysBounded(t *testing.T) {
+	// More silences than maxCuts, all of distinct lengths: the
+	// pre-merge keeps detection feasible and the result still covers
+	// the run.
+	var r0 []Op
+	n := maxCuts + 200
+	t0, lastExit := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		r0 = append(r0, op(t0, t0+1, sigA))
+		lastExit = t0 + 1
+		t0 += 2 + float64(i)*1e-3
+	}
+	s := Detect([][]Op{r0})
+	if s.Phases() > maxCuts+1 {
+		t.Fatalf("phases = %d, want <= %d", s.Phases(), maxCuts+1)
+	}
+	if s.Bounds[0] != 0 || s.Bounds[len(s.Bounds)-1] != lastExit {
+		t.Fatalf("bounds %g..%g do not cover the run", s.Bounds[0], s.Bounds[len(s.Bounds)-1])
+	}
+	total := 0
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("counts sum to %d, want %d", total, n)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"metascope/internal/cube"
 	"metascope/internal/obs/flight"
 	"metascope/internal/pattern"
+	"metascope/internal/phase"
 	"metascope/internal/profile"
 	"metascope/internal/trace"
 )
@@ -160,6 +161,35 @@ func (a *analyzer) result() (*Result, error) {
 
 	res.Profile = prof.Snapshot(a.cfg.Title)
 
+	// Phase detection and the per-phase severity fold. Detection reads
+	// the per-rank op logs (pure functions of the corrected traces);
+	// the fold then replays every rank's deferred sample logs — sweep
+	// deposits first, post-pass deposits second, each rank-major —
+	// strictly sequentially. Unlike the bucketed profile above there is
+	// no per-rank merge step: the fold is cheap (one map update per
+	// sample), and a single fixed addition order makes the artifact
+	// byte-identical across post-mortem, lazy, and streamed analysis
+	// and any GOMAXPROCS.
+	opLogs := make([][]phase.Op, len(a.results))
+	for i, rr := range a.results {
+		opLogs[i] = rr.opLog
+	}
+	pacc := phase.NewAccumulator(phase.Detect(opLogs), len(a.results))
+	for mh, name := range res.MetahostNames {
+		pacc.SetMetahostName(mh, name)
+	}
+	for _, rr := range a.results {
+		for _, s := range rr.profLog {
+			pacc.Add(s.key.Metric, s.key.Metahost, s.start, s.val)
+		}
+	}
+	for _, rr := range a.results {
+		for _, s := range rr.postLog {
+			pacc.Add(s.key.Metric, s.key.Metahost, s.start, s.val)
+		}
+	}
+	res.Phases = pacc.Snapshot(a.cfg.Title)
+
 	res.Report = a.buildReport()
 	res.Report.Profile = res.Profile
 	if err := res.Report.Validate(); err != nil {
@@ -195,8 +225,14 @@ func (a *analyzer) postPassRank(rr *rankResult, dst *profile.Accumulator) {
 			pat = pattern.WrongOrder
 		}
 		rr.acc[ri.cp].waits[pat] += ri.lsWait
-		dst.Add(profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank},
-			ri.recvEnter, ri.lsWait, ri.lsWait)
+		s := profSample{
+			key:   profile.Key{Metric: pat.MetricKey(), Metahost: myMH, Rank: rr.rank},
+			start: ri.recvEnter, dur: ri.lsWait, val: ri.lsWait,
+		}
+		dst.Add(s.key, s.start, s.dur, s.val)
+		// Deferred for the per-phase fold: only here is the instance's
+		// final pattern identity known.
+		rr.postLog = append(rr.postLog, s)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"metascope/internal/archive"
 	"metascope/internal/cube"
 	"metascope/internal/obs"
+	"metascope/internal/phase"
 	"metascope/internal/profile"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
@@ -129,6 +130,11 @@ type Result struct {
 	// message-volume series, on a common interval axis. Also attached
 	// to Report.Profile so HTML rendering can show the heatmap.
 	Profile *profile.Profile
+	// Phases is the automatically detected iteration structure with
+	// wait-state severities folded per (phase, family, metahost) — the
+	// phase-resolved counterpart of Profile, compared across archives
+	// by mtdiff -phases.
+	Phases *phase.Profile
 }
 
 // LoadArchive reads every local trace file of an experiment from the

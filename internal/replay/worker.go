@@ -12,6 +12,7 @@ import (
 	"metascope/internal/obs"
 	"metascope/internal/obs/flight"
 	"metascope/internal/pattern"
+	"metascope/internal/phase"
 	"metascope/internal/profile"
 	"metascope/internal/trace"
 	"metascope/internal/vclock"
@@ -222,6 +223,7 @@ type cpInfo struct {
 	region trace.RegionID
 	name   string
 	kind   trace.RegionKind
+	sig    uint64 // phase.SigOf(name), hashed once per call path
 }
 
 type cpKey struct {
@@ -271,6 +273,18 @@ type rankResult struct {
 	// accumulator and merges them in rank order, reproducible
 	// bit-for-bit in both modes.
 	profLog []profSample
+	// opLog records one entry per completed non-user region instance
+	// (corrected enter/exit plus the region-name signature) — the raw
+	// material of automatic phase detection. Like profLog it is written
+	// only by this rank's own sweep, so appends need no lock.
+	opLog []phase.Op
+	// postLog holds the post-pass severity deposits of this rank
+	// (late-sender family reclassifications), appended by postPassRank
+	// alongside the profile accumulator. The per-phase fold replays
+	// profLog then postLog rank-major, purely sequentially, which keeps
+	// the phase artifact byte-identical whether the post-pass itself ran
+	// sequentially or on one goroutine per rank.
+	postLog []profSample
 	err     error
 }
 
@@ -294,7 +308,10 @@ func (rr *rankResult) cpID(parent int, region trace.RegionID, name string, kind 
 	}
 	id := len(rr.paths)
 	rr.byKey[k] = id
-	rr.paths = append(rr.paths, cpInfo{parent: parent, region: region, name: name, kind: kind})
+	rr.paths = append(rr.paths, cpInfo{
+		parent: parent, region: region, name: name, kind: kind,
+		sig: phase.SigOf(name),
+	})
 	rr.acc = append(rr.acc, cpAcc{})
 	return id
 }
@@ -602,6 +619,12 @@ func (a *analyzer) replayRank(rank int) *rankResult {
 			rr.acc[top.cp].visits++
 			if len(stack) > 0 {
 				stack[len(stack)-1].childTime += dur
+			}
+			// Phase detection keys on communication structure: one op per
+			// completed MPI region instance, user regions excluded (they
+			// span whole iterations and would fuse every silence gap).
+			if info := &rr.paths[top.cp]; info.kind != trace.RegionUser {
+				rr.opLog = append(rr.opLog, phase.Op{Enter: top.enter, Exit: ct, Sig: info.sig})
 			}
 
 		case trace.KindSend:

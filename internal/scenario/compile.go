@@ -42,6 +42,16 @@ type Expectation struct {
 	// Bounds maps metric key → per-rank upper bound for metrics with
 	// no closed form (collective completion).
 	Bounds map[string]float64
+	// Steps resolves Keys per aligned step: Steps[i] carries the same
+	// metric key → rank → severity structure restricted to the
+	// severities planted in step i, one entry per schedule phase (nil
+	// maps for steps planting nothing). Summing Steps over i
+	// reproduces Keys, and detected phase i of the analyzed archive
+	// must match Steps[i] — the per-iteration oracle.
+	Steps []map[string]map[int]float64
+	// StepBounds maps metric key → per-rank per-step upper bound for
+	// the completion metrics (one collective call per step).
+	StepBounds map[string]float64
 }
 
 func (e *Expectation) add(key string, rank int, v float64) {
@@ -106,6 +116,35 @@ type planCtx struct {
 	rng      *rng
 	exp      *Expectation
 	spanning bool // world communicator spans metahosts
+	// step is the schedule index of the phase currently being planned;
+	// planners set it before emitting expectations so add can resolve
+	// them per step.
+	step int
+}
+
+// add plants one expected severity in both the global table and the
+// per-step table of the phase being planned. The global map is
+// updated first with the identical call sequence the planners always
+// produced, so the per-step resolution cannot perturb Keys' floats.
+func (c *planCtx) add(key string, rank int, v float64) {
+	if v <= 0 {
+		return
+	}
+	c.exp.add(key, rank, v)
+	for len(c.exp.Steps) <= c.step {
+		c.exp.Steps = append(c.exp.Steps, nil)
+	}
+	m := c.exp.Steps[c.step]
+	if m == nil {
+		m = make(map[string]map[int]float64)
+		c.exp.Steps[c.step] = m
+	}
+	sm := m[key]
+	if sm == nil {
+		sm = make(map[int]float64)
+		m[key] = sm
+	}
+	sm[rank] += v
 }
 
 // stragglerFactor returns the work multiplier fault injection applies
@@ -162,8 +201,9 @@ func (sp *Spec) Compile() (*Program, error) {
 		speed: speed,
 		rng:   newRNG(sp.Seed, sp.Kernel),
 		exp: &Expectation{
-			Keys:   make(map[string]map[int]float64),
-			Bounds: make(map[string]float64),
+			Keys:       make(map[string]map[int]float64),
+			Bounds:     make(map[string]float64),
+			StepBounds: make(map[string]float64),
 		},
 		spanning: spanning,
 	}
@@ -181,6 +221,12 @@ func (sp *Spec) Compile() (*Program, error) {
 		phases = planStraggler(ctx)
 	default:
 		return nil, errAt(0, "kernel", "unknown kernel %q", sp.Kernel)
+	}
+
+	// Pad Steps to the full schedule so Steps[i] is addressable for
+	// every phase, including trailing steps that plant nothing.
+	for len(ctx.exp.Steps) < len(phases) {
+		ctx.exp.Steps = append(ctx.exp.Steps, nil)
 	}
 
 	p := &Program{Spec: sp, Expect: *ctx.exp, phases: phases, locs: locs, speed: speed}
@@ -274,6 +320,10 @@ func (p *Program) completionBounds() {
 	for k, v := range p.Expect.Bounds {
 		calls := v / CompletionPerCall
 		p.Expect.Bounds[k] = v + calls*extra
+	}
+	for k, v := range p.Expect.StepBounds {
+		calls := v / CompletionPerCall
+		p.Expect.StepBounds[k] = v + calls*extra
 	}
 }
 
@@ -569,6 +619,10 @@ func (p *Program) N() int { return p.Spec.Ranks }
 
 // Phases returns the number of aligned steps in the schedule.
 func (p *Program) Phases() int { return len(p.phases) }
+
+// RankMetahost returns the metahost rank r was placed on — per-step
+// oracles fold per-rank expectations to metahost granularity with it.
+func (p *Program) RankMetahost(r int) int { return p.locs[r].Metahost }
 
 // Describe renders the compiled plan: topology, placement, schedule,
 // the closed-form expectation, and faults. The output is

@@ -31,15 +31,15 @@ import (
 func (c *planCtx) pairLS(a, b int, work []float64) {
 	grid := c.crossMH(a, b)
 	if d := work[b] - work[a]; d > 0 {
-		c.exp.add(pattern.KeyLateSender, a, d)
+		c.add(pattern.KeyLateSender, a, d)
 		if grid {
-			c.exp.add(pattern.KeyGridLS, a, d)
+			c.add(pattern.KeyGridLS, a, d)
 		}
 	}
 	if d := work[a] - work[b]; d > 0 {
-		c.exp.add(pattern.KeyLateSender, b, d)
+		c.add(pattern.KeyLateSender, b, d)
 		if grid {
-			c.exp.add(pattern.KeyGridLS, b, d)
+			c.add(pattern.KeyGridLS, b, d)
 		}
 	}
 }
@@ -54,6 +54,7 @@ func planHalo1D(c *planCtx) []phase {
 	var phases []phase
 	for it := 0; it < sp.Iterations; it++ {
 		for par := 0; par < 2; par++ {
+			c.step = it*2 + par
 			ph := phase{
 				name: fmt.Sprintf("iter%d/%s", it, [2]string{"even", "odd"}[par]),
 				work: make([]float64, n),
@@ -83,6 +84,7 @@ func planHalo2D(c *planCtx) []phase {
 	n := sp.Ranks
 	var phases []phase
 	addPhase := func(it int, name string, pair func(ph *phase)) {
+		c.step = len(phases)
 		ph := phase{
 			name: fmt.Sprintf("iter%d/%s", it, name),
 			work: make([]float64, n),
@@ -140,6 +142,7 @@ func planMasterWorker(c *planCtx) []phase {
 	}
 	var phases []phase
 	for it := 0; it < sp.Iterations; it++ {
+		c.step = it * 2
 		h := phase{
 			name: fmt.Sprintf("iter%d/handout", it),
 			work: make([]float64, n),
@@ -151,15 +154,16 @@ func planMasterWorker(c *planCtx) []phase {
 			u := sp.Params.Prep + sp.Params.PrepSpread*c.rng.float()
 			prep[i] = u * c.stragglerFactor(0, it) / c.speed[0]
 			cum += prep[i]
-			c.exp.add(pattern.KeyLateSender, w, cum)
+			c.add(pattern.KeyLateSender, w, cum)
 			if c.crossMH(0, w) {
-				c.exp.add(pattern.KeyGridLS, w, cum)
+				c.add(pattern.KeyGridLS, w, cum)
 			}
 			h.ops[w] = rankOp{kind: opRecv, peer: 0}
 		}
 		h.ops[0] = rankOp{kind: opHandout, workers: workers, prep: prep}
 		phases = append(phases, h)
 
+		c.step = it*2 + 1
 		col := phase{
 			name: fmt.Sprintf("iter%d/collect", it),
 			work: make([]float64, n),
@@ -170,9 +174,9 @@ func planMasterWorker(c *planCtx) []phase {
 			cw := u * c.stragglerFactor(w, it) / c.speed[w]
 			col.work[w] = cw
 			col.ops[w] = rankOp{kind: opSend, peer: 0}
-			c.exp.add(pattern.KeyLateSender, 0, cw)
+			c.add(pattern.KeyLateSender, 0, cw)
 			if c.crossMH(0, w) {
-				c.exp.add(pattern.KeyGridLS, 0, cw)
+				c.add(pattern.KeyGridLS, 0, cw)
 			}
 		}
 		col.ops[0] = rankOp{kind: opCollect, workers: workers}
@@ -201,6 +205,7 @@ func planAMR(c *planCtx) []phase {
 	n := sp.Ranks
 	var phases []phase
 	for it := 0; it < sp.Iterations; it++ {
+		c.step = it
 		ph := phase{
 			name: fmt.Sprintf("iter%d/refine", it),
 			work: make([]float64, n),
@@ -222,14 +227,15 @@ func planAMR(c *planCtx) []phase {
 			}
 		}
 		for r := 0; r < n; r++ {
-			c.exp.add(pattern.KeyWaitBarrier, r, mx-ph.work[r])
+			c.add(pattern.KeyWaitBarrier, r, mx-ph.work[r])
 			if c.spanning {
-				c.exp.add(pattern.KeyGridWB, r, mx-ph.work[r])
+				c.add(pattern.KeyGridWB, r, mx-ph.work[r])
 			}
 		}
 		phases = append(phases, ph)
 	}
 	c.exp.Bounds[pattern.KeyBarrierComp] = float64(sp.Iterations) * CompletionPerCall
+	c.exp.StepBounds[pattern.KeyBarrierComp] = CompletionPerCall
 	return phases
 }
 
@@ -242,6 +248,7 @@ func planStraggler(c *planCtx) []phase {
 	n := sp.Ranks
 	var phases []phase
 	for it := 0; it < sp.Iterations; it++ {
+		c.step = it
 		ph := phase{
 			name: fmt.Sprintf("iter%d/step", it),
 			work: make([]float64, n),
@@ -258,13 +265,14 @@ func planStraggler(c *planCtx) []phase {
 			}
 		}
 		for r := 0; r < n; r++ {
-			c.exp.add(pattern.KeyWaitNxN, r, mx-ph.work[r])
+			c.add(pattern.KeyWaitNxN, r, mx-ph.work[r])
 			if c.spanning {
-				c.exp.add(pattern.KeyGridNxN, r, mx-ph.work[r])
+				c.add(pattern.KeyGridNxN, r, mx-ph.work[r])
 			}
 		}
 		phases = append(phases, ph)
 	}
 	c.exp.Bounds[pattern.KeyNxNComp] = float64(sp.Iterations) * CompletionPerCall
+	c.exp.StepBounds[pattern.KeyNxNComp] = CompletionPerCall
 	return phases
 }

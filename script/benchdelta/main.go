@@ -170,6 +170,66 @@ func writeTable(out *bufio.Writer, cur, base map[string]result, baseDesc string)
 	}
 }
 
+// phaseUnitPrefix marks per-phase severity metrics reported by
+// BenchmarkPhaseAnalysis via b.ReportMetric: "sev:p<phase>:<family>".
+const phaseUnitPrefix = "sev:"
+
+// writePhaseTable renders the per-phase analysis severities as their
+// own table, one row per (benchmark, phase, family). Unlike the
+// machine-dependent ns/op columns these are exact simulation outputs,
+// so any delta is a real behavioural change of the analyzer or the
+// workload. A zero baseline with a nonzero current value prints as
+// "new" — a wait state appeared in a phase that had none.
+func writePhaseTable(out *bufio.Writer, cur, base map[string]result) {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	header := false
+	for _, n := range names {
+		units := make([]string, 0, len(cur[n].units))
+		for u := range cur[n].units {
+			if strings.HasPrefix(u, phaseUnitPrefix) {
+				units = append(units, u)
+			}
+		}
+		if len(units) == 0 {
+			continue
+		}
+		sort.Strings(units)
+		if !header {
+			header = true
+			fmt.Fprintf(out, "\nper-phase analysis severities (%sp<phase>:<family>)\n", phaseUnitPrefix)
+			fmt.Fprintf(out, "%-36s %-24s %14s %14s %9s\n", "benchmark", "phase metric", "base", "current", "Δ")
+		}
+		var b result
+		if base != nil {
+			b = base[n]
+		}
+		for _, u := range units {
+			cv := cur[n].units[u]
+			baseStr, d := "-", ""
+			if b.units != nil {
+				if bv, ok := b.units[u]; ok {
+					baseStr = strconv.FormatFloat(bv, 'g', -1, 64)
+					if bv == 0 {
+						if cv != 0 {
+							d = "new"
+						}
+					} else {
+						d = delta(cv, bv)
+					}
+				}
+			}
+			fmt.Fprintf(out, "%-36s %-24s %14s %14s %9s\n",
+				n, strings.TrimPrefix(u, phaseUnitPrefix),
+				baseStr, strconv.FormatFloat(cv, 'g', -1, 64), d)
+		}
+	}
+}
+
 func main() {
 	basePath := flag.String("base", "", "baseline go test -json capture (optional)")
 	flag.Parse()
@@ -193,4 +253,5 @@ func main() {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	writeTable(w, cur, base, *basePath)
+	writePhaseTable(w, cur, base)
 }

@@ -112,6 +112,75 @@ func TestWriteTableWithBaseline(t *testing.T) {
 	}
 }
 
+func renderPhaseTable(cur, base map[string]result) string {
+	var sb strings.Builder
+	w := bufio.NewWriter(&sb)
+	writePhaseTable(w, cur, base)
+	w.Flush()
+	return sb.String()
+}
+
+func TestWritePhaseTable(t *testing.T) {
+	cur := map[string]result{
+		"BenchmarkPhaseAnalysis": {name: "BenchmarkPhaseAnalysis",
+			units: map[string]float64{
+				"ns/op":           1e6,
+				"sev:p0:wait_nxn": 0.45,
+				"sev:p1:wait_nxn": 0.90,
+				"sev:p2:wait_nxn": 0.05,
+			}},
+	}
+	base := map[string]result{
+		"BenchmarkPhaseAnalysis": {name: "BenchmarkPhaseAnalysis",
+			units: map[string]float64{
+				"ns/op":           2e6,
+				"sev:p0:wait_nxn": 0.45,
+				"sev:p1:wait_nxn": 0.45,
+				"sev:p2:wait_nxn": 0,
+			}},
+	}
+	got := renderPhaseTable(cur, base)
+	if !strings.Contains(got, "per-phase analysis severities") {
+		t.Fatalf("phase table header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "p1:wait_nxn") || !strings.Contains(got, "+100.0%") {
+		t.Errorf("doubled phase severity not reported as +100%%:\n%s", got)
+	}
+	if !strings.Contains(got, "+0.0%") {
+		t.Errorf("unchanged phase severity missing its zero delta:\n%s", got)
+	}
+	if !strings.Contains(got, "new") {
+		t.Errorf("zero-baseline severity not marked as new:\n%s", got)
+	}
+	if strings.Contains(got, "ns/op") {
+		t.Errorf("machine-dependent units leaked into the phase table:\n%s", got)
+	}
+}
+
+func TestWritePhaseTableNoBaseline(t *testing.T) {
+	cur := map[string]result{
+		"BenchmarkPhaseAnalysis": {name: "BenchmarkPhaseAnalysis",
+			units: map[string]float64{"sev:p0:wait_nxn": 0.45}},
+	}
+	got := renderPhaseTable(cur, nil)
+	if !strings.Contains(got, "0.45") {
+		t.Errorf("current severity missing without baseline:\n%s", got)
+	}
+	if strings.Contains(got, "%") || strings.Contains(got, "new") {
+		t.Errorf("delta printed without a baseline:\n%s", got)
+	}
+}
+
+func TestWritePhaseTableEmpty(t *testing.T) {
+	cur := map[string]result{
+		"BenchmarkParallelReplay": {name: "BenchmarkParallelReplay",
+			units: map[string]float64{"ns/op": 1e6}},
+	}
+	if got := renderPhaseTable(cur, nil); got != "" {
+		t.Errorf("phase table rendered with no sev: units:\n%s", got)
+	}
+}
+
 func writeTemp(t *testing.T, content string) string {
 	t.Helper()
 	p := filepath.Join(t.TempDir(), "bench.json")

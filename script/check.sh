@@ -102,6 +102,22 @@ go test -race -count=1 -run 'TestStreamingDeterminismSmoke' ./internal/conforman
 echo "== scenario pipeline smoke"
 go test -race -count=1 -run 'TestScenarioPipelineSmoke' ./internal/scenario
 
+# The phase profile is a deterministic artifact: the same scenario and
+# seed must render byte-identical phase JSON across GOMAXPROCS, trace
+# formats, and the sequential/parallel post-pass. Pinned by name so a
+# fold-order regression in the phase accumulator fails the gate with
+# an unambiguous label.
+echo "== phase profile determinism"
+go test -race -count=1 -run 'TestPhaseDeterminism' ./internal/conformance
+
+# Phase pipeline smoke: detection on generated kernels must recover
+# the schedule's step count with per-iteration severities matching the
+# closed forms, and the phase-aligned diff must pinpoint a planted
+# single-iteration regression the whole-archive totals average away.
+# The full matrix runs as TestPhaseOracle in the regular suite.
+echo "== phase pipeline smoke"
+go test -race -count=1 -run 'TestPhaseDiffPinpointsRegression|TestPhaseOracleMutation' ./internal/conformance
+
 # The dogfood loop: analyze an experiment with the recorder on, export
 # the recording as a trace archive, and analyze THAT with the same
 # pipeline. Proves the self-instrumentation stays a valid input to the
